@@ -1,0 +1,415 @@
+//! The distributed Barnes-Hut force-computation phase.
+//!
+//! Bodies are Morton-sorted and split into `P` contiguous, equal-count
+//! chunks (a stand-in for SPLASH-2's costzones that preserves its spatial
+//! locality). Octree cells are owned by the node whose body region
+//! contains their center of mass, so each node's subtree is mostly local
+//! and remote reads concentrate on other nodes' coarse summaries — the
+//! paper's communication pattern.
+//!
+//! The top-level concurrent loop is "for each locally-owned body, walk the
+//! tree"; a non-blocking thread visits exactly one cell (the pointer it is
+//! labeled with), emitting child visits as new dependent threads. Leaves
+//! carry their bodies inline (the paper's object inlining), so a fetched
+//! leaf enables its body-body interactions with no further traffic.
+
+use dpa_core::{PtrApp, WorkEnv};
+use global_heap::{ClassTable, GPtr, ObjClass};
+use nbody::bh::{accepts, BhParams};
+use nbody::body::{point_accel, Body};
+use nbody::morton::{even_splits, morton3};
+use nbody::octree::{Octree, NO_CELL};
+use nbody::vec3::Vec3;
+use std::sync::Arc;
+
+/// Per-operation costs of the Barnes-Hut walk, in ns (T3D-node scale).
+#[derive(Clone, Copy, Debug)]
+pub struct BhCost {
+    /// Distance computation + opening test per visited cell.
+    pub visit_ns: u64,
+    /// One body–cell monopole interaction.
+    pub cell_interact_ns: u64,
+    /// One body–body interaction.
+    pub body_interact_ns: u64,
+}
+
+impl Default for BhCost {
+    fn default() -> Self {
+        BhCost {
+            visit_ns: 1_000,
+            cell_interact_ns: 5_200,
+            body_interact_ns: 4_600,
+        }
+    }
+}
+
+/// How octree cells are assigned to owner nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OwnerPolicy {
+    /// SPLASH-like: a cell lives where the processor that built it lives —
+    /// leaves with their first body's owner, internal cells with the owner
+    /// of a deterministically-arbitrary child (parallel tree construction
+    /// races make upper-cell placement effectively arbitrary). This is the
+    /// paper's setting: data placement is only loosely aligned with the
+    /// computation, which is exactly why *dynamic* alignment pays.
+    Builder,
+    /// Idealized: a cell is owned by the node whose body region contains
+    /// its center of mass. Kept as an ablation; note that any policy whose
+    /// owner is one of the cell's *visitors* yields the same total miss
+    /// count (Σ over cells of visitors−1), so this ties with `Builder` —
+    /// a finding the experiments report.
+    CmRegion,
+    /// Spatially-uncorrelated placement (hash of the cell id): what a
+    /// naive allocator gives. The owner is usually not a visitor, so
+    /// remote reads balloon — the ablation that shows how much placement
+    /// quality matters to the *baselines* and how well DPA tolerates it.
+    Scatter,
+}
+
+/// Immutable shared world for one force phase: bodies, tree, ownership.
+pub struct BhWorld {
+    /// Bodies, Morton-sorted.
+    pub bodies: Vec<Body>,
+    /// The octree over `bodies`.
+    pub tree: Octree,
+    /// Walk parameters.
+    pub params: BhParams,
+    /// Cost model of the walk arithmetic.
+    pub cost: BhCost,
+    /// `splits[i]..splits[i+1]` are node `i`'s bodies.
+    pub splits: Vec<usize>,
+    /// Owner node per cell id.
+    pub cell_owner: Vec<u16>,
+    /// Wire size per cell id (header + inline leaf bodies).
+    pub cell_bytes: Vec<u32>,
+    /// Object classes (one: CELL).
+    pub classes: ClassTable,
+    /// Cell object class.
+    pub cell_class: ObjClass,
+    /// Machine size.
+    pub nodes: u16,
+}
+
+/// Fixed per-cell header bytes on the wire: mass, cm, center, half,
+/// nbodies + 8 child references.
+const CELL_HEADER_BYTES: u32 = 8 * 8 + 8 * 4;
+/// Bytes per inline body: position + mass.
+const INLINE_BODY_BYTES: u32 = 32;
+
+impl BhWorld {
+    /// Build the world: sort bodies, build the tree, assign owners.
+    pub fn build(
+        bodies: Vec<Body>,
+        nodes: u16,
+        leaf_cap: usize,
+        params: BhParams,
+        cost: BhCost,
+    ) -> Arc<BhWorld> {
+        Self::build_with_policy(bodies, nodes, leaf_cap, params, cost, OwnerPolicy::Builder)
+    }
+
+    /// [`BhWorld::build`] with an explicit cell-ownership policy.
+    pub fn build_with_policy(
+        mut bodies: Vec<Body>,
+        nodes: u16,
+        leaf_cap: usize,
+        params: BhParams,
+        cost: BhCost,
+        policy: OwnerPolicy,
+    ) -> Arc<BhWorld> {
+        assert!(nodes >= 1 && !bodies.is_empty());
+        // Morton sort for spatially-contiguous ownership.
+        let mut lo = bodies[0].pos;
+        let mut hi = bodies[0].pos;
+        for b in &bodies {
+            lo = lo.min(b.pos);
+            hi = hi.max(b.pos);
+        }
+        let extent = (hi - lo).max_component().max(1e-12);
+        bodies.sort_by_key(|b| morton3(b.pos, lo, extent));
+
+        let tree = Octree::build(&bodies, leaf_cap);
+        let splits = even_splits(bodies.len(), nodes as usize);
+
+        // Owner of a body index: which contiguous chunk it falls into.
+        let body_owner = |b: u32| -> u16 {
+            (splits.partition_point(|&s| s <= b as usize) - 1) as u16
+        };
+
+        let mut cell_owner = vec![0u16; tree.len()];
+        match policy {
+            OwnerPolicy::Scatter => {
+                #[allow(clippy::needless_range_loop)] // id is also the hash input
+                for id in 0..tree.len() {
+                    let h = (id as u64)
+                        .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                        .rotate_left(29);
+                    cell_owner[id] = (h % nodes as u64) as u16;
+                }
+            }
+            OwnerPolicy::CmRegion => {
+                // Owner of a position: which chunk its Morton rank falls in.
+                let codes: Vec<u64> =
+                    bodies.iter().map(|b| morton3(b.pos, lo, extent)).collect();
+                for (id, cell) in tree.iter() {
+                    let code = morton3(cell.cm, lo, extent);
+                    let rank = codes.partition_point(|&c| c < code);
+                    cell_owner[id as usize] =
+                        body_owner(rank.min(bodies.len() - 1) as u32);
+                }
+            }
+            OwnerPolicy::Builder => {
+                // Children precede nothing: cells are stored parent-first,
+                // so walk in reverse to resolve children before parents.
+                #[allow(clippy::needless_range_loop)] // reverse index walk
+                for id in (0..tree.len()).rev() {
+                    let cell = &tree.cells[id];
+                    cell_owner[id] = if cell.is_leaf() {
+                        cell.bodies.first().map_or(0, |&b| body_owner(b))
+                    } else {
+                        let kids: Vec<i32> = cell
+                            .children
+                            .iter()
+                            .copied()
+                            .filter(|&c| c != NO_CELL)
+                            .collect();
+                        // Deterministically-arbitrary builder: whichever
+                        // processor "got there first" in the parallel
+                        // construction race.
+                        let h = (id as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .rotate_left(31);
+                        cell_owner[kids[(h % kids.len() as u64) as usize] as usize]
+                    };
+                }
+            }
+        }
+
+        let mut cell_bytes = Vec::with_capacity(tree.len());
+        for (_, cell) in tree.iter() {
+            cell_bytes
+                .push(CELL_HEADER_BYTES + cell.bodies.len() as u32 * INLINE_BODY_BYTES);
+        }
+
+        let mut classes = ClassTable::new();
+        let cell_class = classes.register("bh_cell", CELL_HEADER_BYTES);
+
+        Arc::new(BhWorld {
+            bodies,
+            tree,
+            params,
+            cost,
+            splits,
+            cell_owner,
+            cell_bytes,
+            classes,
+            cell_class,
+            nodes,
+        })
+    }
+
+    /// Global pointer to cell `id`.
+    #[inline]
+    pub fn cell_ptr(&self, id: u32) -> GPtr {
+        GPtr::new(self.cell_owner[id as usize], self.cell_class, id as u64)
+    }
+
+    /// Bodies owned by `node` as a global index range.
+    pub fn body_range(&self, node: u16) -> std::ops::Range<usize> {
+        self.splits[node as usize]..self.splits[node as usize + 1]
+    }
+
+    /// Fraction of cells whose owner differs from `node` (diagnostics).
+    pub fn remote_cell_fraction(&self, node: u16) -> f64 {
+        let remote = self.cell_owner.iter().filter(|&&o| o != node).count();
+        remote as f64 / self.cell_owner.len() as f64
+    }
+}
+
+/// A Barnes-Hut non-blocking thread: body `body` visits cell `cell`.
+#[derive(Clone, Copy, Debug)]
+pub struct BhVisit {
+    /// Global body index (always local to the executing node).
+    pub body: u32,
+    /// Cell id being visited (the labeled pointer).
+    pub cell: u32,
+}
+
+/// Per-node Barnes-Hut application state.
+pub struct BhApp {
+    world: Arc<BhWorld>,
+    me: u16,
+    /// Accelerations for locally-owned bodies (index = body − first own).
+    pub accel: Vec<Vec3>,
+    /// Monopole interactions performed.
+    pub cell_interactions: u64,
+    /// Body-body interactions performed.
+    pub body_interactions: u64,
+    /// Cells visited.
+    pub cells_visited: u64,
+}
+
+impl BhApp {
+    /// The app instance for node `me`.
+    pub fn new(world: Arc<BhWorld>, me: u16) -> BhApp {
+        let n_local = world.body_range(me).len();
+        BhApp {
+            world,
+            me,
+            accel: vec![Vec3::ZERO; n_local],
+            cell_interactions: 0,
+            body_interactions: 0,
+            cells_visited: 0,
+        }
+    }
+
+    #[inline]
+    fn add_accel(&mut self, body: u32, a: Vec3) {
+        let base = self.world.splits[self.me as usize];
+        self.accel[body as usize - base] += a;
+    }
+}
+
+impl PtrApp for BhApp {
+    type Work = BhVisit;
+
+    fn num_iterations(&self) -> usize {
+        self.world.body_range(self.me).len()
+    }
+
+    fn start_iteration(&mut self, iter: usize, env: &mut WorkEnv<'_, BhVisit>) {
+        let body = (self.world.splits[self.me as usize] + iter) as u32;
+        let root = self.world.tree.root();
+        env.demand(
+            self.world.cell_ptr(root),
+            BhVisit { body, cell: root },
+        );
+    }
+
+    fn run_work(&mut self, w: BhVisit, env: &mut WorkEnv<'_, BhVisit>) {
+        let world = self.world.clone();
+        env.assert_readable(world.cell_ptr(w.cell));
+        let cell = &world.tree.cells[w.cell as usize];
+        let cost = world.cost;
+        let pos = world.bodies[w.body as usize].pos;
+        self.cells_visited += 1;
+        env.charge(cost.visit_ns);
+
+        if cell.is_leaf() {
+            let mut acc = Vec3::ZERO;
+            for &b in &cell.bodies {
+                if b != w.body {
+                    acc += point_accel(
+                        pos,
+                        world.bodies[b as usize].pos,
+                        world.bodies[b as usize].mass,
+                        world.params.eps,
+                    );
+                    self.body_interactions += 1;
+                    env.charge(cost.body_interact_ns);
+                }
+            }
+            self.add_accel(w.body, acc);
+        } else if accepts(pos, cell.cm, cell.side(), world.params.theta) {
+            let a = point_accel(pos, cell.cm, cell.mass, world.params.eps);
+            self.add_accel(w.body, a);
+            self.cell_interactions += 1;
+            env.charge(cost.cell_interact_ns);
+        } else {
+            for &c in &cell.children {
+                if c != NO_CELL {
+                    let c = c as u32;
+                    env.demand(world.cell_ptr(c), BhVisit { body: w.body, cell: c });
+                }
+            }
+        }
+    }
+
+    fn object_size(&self, ptr: GPtr) -> u32 {
+        self.world.cell_bytes[ptr.index() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::distrib::plummer;
+
+    fn world(n: usize, nodes: u16) -> Arc<BhWorld> {
+        BhWorld::build(
+            plummer(n, 33),
+            nodes,
+            8,
+            BhParams::default(),
+            BhCost::default(),
+        )
+    }
+
+    #[test]
+    fn splits_partition_bodies() {
+        let w = world(500, 4);
+        let mut covered = 0;
+        for node in 0..4 {
+            covered += w.body_range(node).len();
+        }
+        assert_eq!(covered, 500);
+    }
+
+    #[test]
+    fn cell_owners_valid() {
+        let w = world(300, 4);
+        assert_eq!(w.cell_owner.len(), w.tree.len());
+        assert!(w.cell_owner.iter().all(|&o| o < 4));
+    }
+
+    #[test]
+    fn ownership_is_spatially_local() {
+        // Most cells of a node's own region should be owned by it: the
+        // remote fraction per node must be well under uniform (3/4).
+        let w = world(2000, 4);
+        for node in 0..4 {
+            let f = w.remote_cell_fraction(node);
+            assert!(f < 0.95, "node {node} remote fraction {f}");
+        }
+        // And leaves holding a node's own bodies are mostly owned by it.
+        let mut own = 0u32;
+        let mut total = 0u32;
+        for (id, cell) in w.tree.iter() {
+            if cell.is_leaf() && !cell.bodies.is_empty() {
+                let b = cell.bodies[0] as usize;
+                let owner_of_body = w
+                    .splits
+                    .windows(2)
+                    .position(|win| b >= win[0] && b < win[1])
+                    .unwrap() as u16;
+                total += 1;
+                if w.cell_owner[id as usize] == owner_of_body {
+                    own += 1;
+                }
+            }
+        }
+        assert!(
+            own * 2 > total,
+            "most populated leaves should be owned by their bodies' node ({own}/{total})"
+        );
+    }
+
+    #[test]
+    fn leaf_bytes_include_inline_bodies() {
+        let w = world(300, 2);
+        for (id, cell) in w.tree.iter() {
+            let expect =
+                CELL_HEADER_BYTES + cell.bodies.len() as u32 * INLINE_BODY_BYTES;
+            assert_eq!(w.cell_bytes[id as usize], expect);
+        }
+    }
+
+    #[test]
+    fn cell_ptr_roundtrip() {
+        let w = world(100, 3);
+        let p = w.cell_ptr(5);
+        assert_eq!(p.index(), 5);
+        assert_eq!(p.node(), w.cell_owner[5]);
+        assert_eq!(p.class(), w.cell_class);
+    }
+}

@@ -1,0 +1,215 @@
+//! Application-level experiment drivers: run a whole force phase for a
+//! configuration and return forces plus timing.
+
+use crate::afmm_dist::{AfmmEvalApp, AfmmGatherApp, AfmmWorld};
+use crate::bh_dist::{BhApp, BhWorld};
+use crate::fmm_dist::{FmmEvalApp, FmmM2lApp, FmmWorld};
+use dpa_core::{run_phase, DpaConfig};
+use nbody::cx::Cx;
+use nbody::fmm::Local;
+use nbody::vec3::Vec3;
+use sim_net::{NetConfig, RunStats, Time};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Outcome of a distributed Barnes-Hut force phase.
+#[derive(Clone, Debug)]
+pub struct BhRun {
+    /// Acceleration per body (global, Morton-sorted order).
+    pub accel: Vec<Vec3>,
+    /// Phase execution time in ns (the paper's reported quantity).
+    pub makespan_ns: u64,
+    /// Per-node breakdown and counters.
+    pub stats: RunStats,
+    /// Total body–cell interactions.
+    pub cell_interactions: u64,
+    /// Total body–body interactions.
+    pub body_interactions: u64,
+}
+
+/// Run the Barnes-Hut force phase under `cfg`.
+pub fn run_bh(world: &Arc<BhWorld>, cfg: DpaConfig, net: NetConfig) -> BhRun {
+    let mut accel = vec![Vec3::ZERO; world.bodies.len()];
+    let mut cell_interactions = 0;
+    let mut body_interactions = 0;
+    let report = run_phase(
+        world.nodes,
+        net,
+        cfg,
+        |i| BhApp::new(world.clone(), i),
+        |i, app: &BhApp| {
+            let base = world.splits[i as usize];
+            for (off, a) in app.accel.iter().enumerate() {
+                accel[base + off] = *a;
+            }
+            cell_interactions += app.cell_interactions;
+            body_interactions += app.body_interactions;
+        },
+    );
+    BhRun {
+        accel,
+        makespan_ns: report.makespan().as_ns(),
+        stats: report.stats,
+        cell_interactions,
+        body_interactions,
+    }
+}
+
+/// Outcome of a distributed FMM force phase (both sub-phases).
+#[derive(Clone, Debug)]
+pub struct FmmRun {
+    /// Complex field per particle (conjugate ∝ force vector).
+    pub fields: Vec<Cx>,
+    /// Total phase time: M2L sub-phase + eval sub-phase (barrier between).
+    pub makespan_ns: u64,
+    /// M2L sub-phase stats.
+    pub m2l_stats: RunStats,
+    /// Eval sub-phase stats.
+    pub eval_stats: RunStats,
+    /// Total M2L translations.
+    pub m2l_count: u64,
+    /// Total P2P pairs.
+    pub p2p_pairs: u64,
+}
+
+/// Run the FMM force phase (M2L, barrier, downward+eval+P2P) under `cfg`.
+pub fn run_fmm(world: &Arc<FmmWorld>, cfg: DpaConfig, net: NetConfig) -> FmmRun {
+    // Sub-phase 1: M2L over interaction lists.
+    let mut partials: Vec<HashMap<u32, Local>> =
+        (0..world.nodes).map(|_| HashMap::new()).collect();
+    let mut m2l_count = 0;
+    let r1 = run_phase(
+        world.nodes,
+        net.clone(),
+        cfg.clone(),
+        |i| FmmM2lApp::new(world.clone(), i),
+        |i, app: &FmmM2lApp| {
+            partials[i as usize] = app.locals.clone();
+            m2l_count += app.m2l_count;
+        },
+    );
+
+    // Sub-phase 2: downward chain + evaluation + near field.
+    let n = world.solver.zs.len();
+    let mut fields = vec![Cx::ZERO; n];
+    let mut p2p_pairs = 0;
+    let mut partials_iter = partials.into_iter();
+    let r2 = run_phase(
+        world.nodes,
+        net,
+        cfg,
+        |i| {
+            let part = partials_iter.next().expect("one partial map per node");
+            debug_assert_eq!(usize::from(i), {
+                // keep the zip honest in debug builds
+                i as usize
+            });
+            FmmEvalApp::new(world.clone(), i, part)
+        },
+        |_, app: &FmmEvalApp| {
+            for (i, f) in app.fields.iter().enumerate() {
+                if f.norm2() != 0.0 {
+                    fields[i] += *f;
+                }
+            }
+            p2p_pairs += app.p2p_pairs;
+        },
+    );
+
+    FmmRun {
+        fields,
+        makespan_ns: r1.makespan().as_ns() + r2.makespan().as_ns(),
+        m2l_stats: r1.stats,
+        eval_stats: r2.stats,
+        m2l_count,
+        p2p_pairs,
+    }
+}
+
+/// Outcome of a distributed *adaptive* FMM force phase.
+#[derive(Clone, Debug)]
+pub struct AfmmRun {
+    /// Complex field per particle.
+    pub fields: Vec<Cx>,
+    /// Total phase time (gather + evaluate, barrier between).
+    pub makespan_ns: u64,
+    /// Gather sub-phase stats.
+    pub gather_stats: RunStats,
+    /// Evaluate sub-phase stats.
+    pub eval_stats: RunStats,
+    /// Total M2L translations.
+    pub m2l_count: u64,
+    /// Total P2P pairs.
+    pub p2p_pairs: u64,
+}
+
+/// Run the adaptive-FMM force phase (gather, barrier, evaluate) under
+/// `cfg`.
+pub fn run_afmm(world: &Arc<AfmmWorld>, cfg: DpaConfig, net: NetConfig) -> AfmmRun {
+    let mut partials: Vec<HashMap<u32, Local>> =
+        (0..world.nodes).map(|_| HashMap::new()).collect();
+    let mut m2l_count = 0;
+    let r1 = run_phase(
+        world.nodes,
+        net.clone(),
+        cfg.clone(),
+        |i| AfmmGatherApp::new(world.clone(), i),
+        |i, app: &AfmmGatherApp| {
+            partials[i as usize] = app.locals.clone();
+            m2l_count += app.m2l_count;
+        },
+    );
+
+    let n = world.solver.zs.len();
+    let mut fields = vec![Cx::ZERO; n];
+    let mut p2p_pairs = 0;
+    let mut partials_iter = partials.into_iter();
+    let r2 = run_phase(
+        world.nodes,
+        net,
+        cfg,
+        |i| {
+            let part = partials_iter.next().expect("one partial map per node");
+            AfmmEvalApp::new(world.clone(), i, part)
+        },
+        |_, app: &AfmmEvalApp| {
+            for (i, f) in app.fields.iter().enumerate() {
+                if f.norm2() != 0.0 {
+                    fields[i] += *f;
+                }
+            }
+            p2p_pairs += app.p2p_pairs;
+        },
+    );
+
+    AfmmRun {
+        fields,
+        makespan_ns: r1.makespan().as_ns() + r2.makespan().as_ns(),
+        gather_stats: r1.stats,
+        eval_stats: r2.stats,
+        m2l_count,
+        p2p_pairs,
+    }
+}
+
+/// Merge two [`RunStats`] (e.g. the FMM sub-phases) by summing per-node
+/// buckets, counters, and makespans.
+pub fn merge_stats(a: &RunStats, b: &RunStats) -> RunStats {
+    assert_eq!(a.nodes.len(), b.nodes.len());
+    let mut out = a.clone();
+    out.makespan = Time(a.makespan.as_ns() + b.makespan.as_ns());
+    out.dropped_packets += b.dropped_packets;
+    for (x, y) in out.nodes.iter_mut().zip(&b.nodes) {
+        x.local += y.local;
+        x.overhead += y.overhead;
+        x.idle += y.idle;
+        x.msgs_sent += y.msgs_sent;
+        x.bytes_sent += y.bytes_sent;
+        x.msgs_recv += y.msgs_recv;
+        x.bytes_recv += y.bytes_recv;
+        for (k, v) in &y.user {
+            *x.user.entry(k).or_insert(0) += v;
+        }
+    }
+    out
+}

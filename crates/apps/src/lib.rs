@@ -1,0 +1,38 @@
+//! # apps — the paper's evaluation applications, distributed over DPA
+//!
+//! The force-computation phases of SPLASH-2 **Barnes-Hut** and **FMM**,
+//! expressed as pointer-labeled non-blocking threads over the global
+//! object space and executed by any `dpa-core` variant (DPA, caching,
+//! blocking, sequential):
+//!
+//! * [`bh_dist`] — Morton/costzones body partitioning, distributed octree
+//!   walk with inline-allocated leaves;
+//! * [`fmm_dist`] — uniform-tree FMM: subtree partitioning at level K,
+//!   the M2L sub-phase (remote multipole reads), and the downward/eval/
+//!   P2P sub-phase (remote particle-list reads);
+//! * [`afmm_dist`] — the **adaptive** FMM (SPLASH-2's actual algorithm):
+//!   grain-subtree partitioning of the variable-depth tree and the
+//!   U/V/W/X list phases;
+//! * [`relax`] — a push-style weighted graph relaxation exercising the
+//!   remote-reduction extension (the paper's stated future work);
+//! * [`driver`] — one-call phase runners returning forces + timing
+//!   ([`driver::run_bh`], [`driver::run_fmm`]).
+//!
+//! Every variant runs the same decomposition, so forces agree across
+//! variants to floating-point reassociation tolerance — verified in this
+//! crate's tests against the sequential oracles in `nbody`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod afmm_dist;
+pub mod bh_dist;
+pub mod driver;
+pub mod fmm_dist;
+pub mod relax;
+
+pub use afmm_dist::{AEvalWork, AfmmEvalApp, AfmmGatherApp, AfmmWorld, GatherWork};
+pub use bh_dist::{BhApp, BhCost, BhVisit, BhWorld, OwnerPolicy};
+pub use driver::{merge_stats, run_afmm, run_bh, run_fmm, AfmmRun, BhRun, FmmRun};
+pub use fmm_dist::{EvalWork, FmmCost, FmmEvalApp, FmmM2lApp, FmmWorld, M2lWork};
+pub use relax::{Push, RelaxApp, RelaxCost, RelaxWorld, Vertex};

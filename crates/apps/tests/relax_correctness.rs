@@ -1,0 +1,122 @@
+//! Correctness and shape tests for the remote-reduction extension on the
+//! graph-relaxation application.
+
+use apps::relax::{RelaxApp, RelaxWorld};
+use dpa_core::{run_phase, DpaConfig};
+use sim_net::NetConfig;
+use std::sync::Arc;
+
+fn run(world: &Arc<RelaxWorld>, cfg: DpaConfig) -> (Vec<f64>, u64, sim_net::RunStats) {
+    let n = world.vertices.len();
+    let mut next = vec![0.0; n];
+    let mut pushes = 0;
+    let report = run_phase(
+        world.nodes,
+        NetConfig::default(),
+        cfg,
+        |i| RelaxApp::new(world.clone(), i),
+        |i, app: &RelaxApp| {
+            for v in world.range(i) {
+                next[v] = app.next[v];
+            }
+            pushes += app.pushes;
+        },
+    );
+    (next, pushes, report.stats)
+}
+
+#[test]
+fn all_variants_match_oracle() {
+    let world = RelaxWorld::build(400, 4, 8, 0.45, 0xE1);
+    let expected = world.expected();
+    for cfg in [
+        DpaConfig::dpa(16),
+        DpaConfig::dpa_base(16),
+        DpaConfig::caching(),
+        DpaConfig::blocking(),
+    ] {
+        let label = cfg.describe();
+        let (next, pushes, stats) = run(&world, cfg);
+        assert_eq!(pushes, world.total_edges(), "{label}: every edge pushed");
+        assert_eq!(
+            stats.user_total("updates_applied"),
+            world.total_edges(),
+            "{label}: every reduction applied exactly once"
+        );
+        let mut worst = 0.0f64;
+        for (a, b) in next.iter().zip(&expected) {
+            worst = worst.max((a - b).abs() / b.abs().max(1e-12));
+        }
+        assert!(worst < 1e-12, "{label}: worst rel err {worst}");
+    }
+}
+
+#[test]
+fn dpa_aggregates_updates() {
+    let world = RelaxWorld::build(600, 8, 8, 0.6, 0xE2);
+    let (_, _, dpa_stats) = run(&world, DpaConfig::dpa(32));
+    let (_, _, cache_stats) = run(&world, DpaConfig::caching());
+    let dpa_msgs = dpa_stats.user_total("update_msgs");
+    let cache_msgs = cache_stats.user_total("update_msgs");
+    assert!(
+        dpa_msgs * 4 < cache_msgs,
+        "DPA update messages ({dpa_msgs}) must be far fewer than the \
+         baseline's one-per-edge ({cache_msgs})"
+    );
+    // Remote edges each cost the baseline one message.
+    let remote_edges: u64 = world
+        .vertices
+        .iter()
+        .enumerate()
+        .map(|(u, vx)| {
+            let uo = world.vptr(u as u32).node();
+            vx.out
+                .iter()
+                .filter(|&&v| world.vptr(v).node() != uo)
+                .count() as u64
+        })
+        .sum();
+    assert_eq!(cache_msgs, remote_edges);
+}
+
+#[test]
+fn dpa_outruns_baselines_on_reductions() {
+    let world = RelaxWorld::build(800, 8, 10, 0.5, 0xE3);
+    let time = |cfg: DpaConfig| {
+        run_phase(
+            8,
+            NetConfig::default(),
+            cfg,
+            |i| RelaxApp::new(world.clone(), i),
+            |_, _| {},
+        )
+        .makespan()
+        .as_ns()
+    };
+    let dpa = time(DpaConfig::dpa(32));
+    let caching = time(DpaConfig::caching());
+    let blocking = time(DpaConfig::blocking());
+    assert!(dpa < caching, "DPA {dpa} vs caching {caching}");
+    assert!(dpa < blocking, "DPA {dpa} vs blocking {blocking}");
+}
+
+#[test]
+fn deterministic_including_float_accumulation_order() {
+    // Same config twice: bit-identical accumulators (the DES schedule is
+    // deterministic, so even f64 accumulation order repeats).
+    let world = RelaxWorld::build(300, 4, 6, 0.4, 0xE4);
+    let (a, _, _) = run(&world, DpaConfig::dpa(8));
+    let (b, _, _) = run(&world, DpaConfig::dpa(8));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn single_node_all_local() {
+    let world = RelaxWorld::build(100, 1, 5, 0.9, 0xE5);
+    let (next, _, stats) = run(&world, DpaConfig::dpa(8));
+    assert_eq!(stats.total_msgs(), 0, "one node: no messages at all");
+    let expected = world.expected();
+    for (a, b) in next.iter().zip(&expected) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}

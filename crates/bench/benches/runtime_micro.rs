@@ -1,0 +1,149 @@
+//! Microbenchmarks of the DPA runtime's core data structures: the
+//! pointer→threads mapping M, the outstanding-request table D, the
+//! coalescing buffers, packed global pointers, and the baseline software
+//! cache. These are the per-access costs the cost model charges; the
+//! numbers here are real host-side wall times (regression tracking).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpa_core::{PendingRequests, PointerMap};
+use fastmsg::Coalescer;
+use global_heap::{GPtr, ObjClass, SoftCache};
+
+fn ptrs(n: usize) -> Vec<GPtr> {
+    (0..n)
+        .map(|i| GPtr::new((i % 61) as u16, ObjClass((i % 3) as u8), (i / 3) as u64))
+        .collect()
+}
+
+fn bench_pointer_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pointer_map");
+    let ps = ptrs(4096);
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("align_release_4096", |b| {
+        b.iter(|| {
+            let mut m: PointerMap<u32> = PointerMap::new();
+            for (i, &p) in ps.iter().enumerate() {
+                black_box(m.align(p, i as u32));
+            }
+            let mut released = 0;
+            for &p in &ps {
+                released += m.release(p).len();
+            }
+            black_box(released)
+        })
+    });
+    g.bench_function("align_dense_sharing", |b| {
+        // 64 distinct pointers, 4096 threads: the tiling-friendly shape.
+        let dense = ptrs(64);
+        b.iter(|| {
+            let mut m: PointerMap<u32> = PointerMap::new();
+            for i in 0..4096u32 {
+                m.align(dense[(i % 64) as usize], i);
+            }
+            let mut total = 0;
+            for &p in &dense {
+                total += m.release(p).len();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_pending(c: &mut Criterion) {
+    let ps = ptrs(4096);
+    let mut g = c.benchmark_group("pending_requests");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("insert_complete_4096", |b| {
+        b.iter(|| {
+            let mut d = PendingRequests::new();
+            for &p in &ps {
+                black_box(d.insert(p));
+            }
+            for &p in &ps {
+                black_box(d.complete(p));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let ps = ptrs(4096);
+    let mut g = c.benchmark_group("coalescer");
+    g.throughput(Throughput::Elements(4096));
+    for window in [1usize, 8, 32, 128] {
+        g.bench_function(format!("push_drain_w{window}"), |b| {
+            b.iter(|| {
+                let mut co: Coalescer<GPtr> = Coalescer::new(64, window);
+                let mut batches = 0;
+                for &p in &ps {
+                    if co.push(p.node(), p).is_some() {
+                        batches += 1;
+                    }
+                }
+                batches += co.drain_all().len();
+                black_box(batches)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gptr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gptr");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("pack_unpack", |b| {
+        b.iter(|| {
+            let p = GPtr::new(black_box(17), ObjClass(2), black_box(123456));
+            black_box((p.node(), p.class(), p.index()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_soft_cache(c: &mut Criterion) {
+    let ps = ptrs(4096);
+    let mut g = c.benchmark_group("soft_cache");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("probe_fill_4096", |b| {
+        b.iter(|| {
+            let mut cache = SoftCache::new(None);
+            for &p in &ps {
+                if !cache.probe(p) {
+                    cache.fill(p, 96);
+                }
+            }
+            // Second pass: all hits.
+            let mut hits = 0;
+            for &p in &ps {
+                if cache.probe(p) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("probe_bounded_evicting", |b| {
+        b.iter(|| {
+            let mut cache = SoftCache::new(Some(256));
+            for &p in &ps {
+                if !cache.probe(p) {
+                    cache.fill(p, 96);
+                }
+            }
+            black_box(cache.stats().evictions)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pointer_map,
+    bench_pending,
+    bench_coalescer,
+    bench_gptr,
+    bench_soft_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! End-to-end simulator throughput: full (small-scale) force phases under
+//! each variant. Wall time here measures the *simulator and runtime*
+//! implementation — regression tracking for the engine that produces all
+//! paper-reproduction numbers.
+
+use apps::driver::{run_bh, run_fmm};
+use bench::{bh_world_sized, fmm_world_sized, paper_net};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpa_core::synth::{SynthApp, SynthParams, SynthWorld};
+use dpa_core::{run_phase, DpaConfig};
+
+fn bench_synth(c: &mut Criterion) {
+    let world = SynthWorld::build(SynthParams {
+        nodes: 8,
+        lists_per_node: 32,
+        list_len: 32,
+        remote_fraction: 0.4,
+        shared_fraction: 0.5,
+        record_bytes: 32,
+        work_ns: 500,
+        seed: 3,
+    });
+    let mut g = c.benchmark_group("sim_synth");
+    g.sample_size(20);
+    for cfg in [DpaConfig::dpa(16), DpaConfig::caching(), DpaConfig::blocking()] {
+        g.bench_function(cfg.describe(), |b| {
+            b.iter(|| {
+                let r = run_phase(
+                    8,
+                    paper_net(),
+                    cfg.clone(),
+                    |i| SynthApp::new(world.clone(), i, 500),
+                    |_, _| {},
+                );
+                black_box(r.makespan())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bh_phase(c: &mut Criterion) {
+    let world = bh_world_sized(2048, 8);
+    let mut g = c.benchmark_group("sim_bh_2048_p8");
+    g.sample_size(10);
+    for cfg in [DpaConfig::dpa(50), DpaConfig::caching()] {
+        g.bench_function(cfg.describe(), |b| {
+            b.iter(|| black_box(run_bh(&world, cfg.clone(), paper_net()).makespan_ns))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fmm_phase(c: &mut Criterion) {
+    let world = fmm_world_sized(4096, 12, 8);
+    let mut g = c.benchmark_group("sim_fmm_4096_p8");
+    g.sample_size(10);
+    for cfg in [DpaConfig::dpa(50), DpaConfig::caching()] {
+        g.bench_function(cfg.describe(), |b| {
+            b.iter(|| black_box(run_fmm(&world, cfg.clone(), paper_net()).makespan_ns))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_synth, bench_bh_phase, bench_fmm_phase);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Calibration diagnostics: dump the raw counters behind the cost model so
+//! the defaults can be tuned against the paper's observed ratios
+//! (single-node DPA ≈ +20.6% over sequential, caching ≈ +17.7%; DPA ahead
+//! of caching by 7–22% at P ≥ 2).
+
+use apps::driver::{merge_stats, run_bh, run_fmm};
+use bench::*;
+use dpa_core::DpaConfig;
+
+fn main() {
+    let quick = has_flag("--quick");
+    let bh_n = if quick { 4_096 } else { PAPER_BH_BODIES };
+    let fmm_n = if quick { 8_192 } else { PAPER_FMM_PARTICLES };
+    let fmm_p = if quick { 16 } else { PAPER_FMM_TERMS };
+
+    println!("=== BH {bh_n} bodies ===");
+    let seq = {
+        let w = bh_world_sized(bh_n, 1);
+        let r = run_bh(&w, DpaConfig::sequential(), paper_net());
+        println!(
+            "seq: {} s  visits={} cell_int={} body_int={}",
+            fmt_secs(r.makespan_ns),
+            r.stats.user_total("threads_created"),
+            r.cell_interactions,
+            r.body_interactions
+        );
+        r.makespan_ns
+    };
+    for p in [1u16, 2, 16, 64] {
+        let w = bh_world_sized(bh_n, p);
+        for cfg in [DpaConfig::dpa(50), DpaConfig::caching()] {
+            let label = cfg.describe();
+            let r = run_bh(&w, cfg, paper_net());
+            let s = &r.stats;
+            let (l, o, i) = breakdown_pct(s);
+            println!(
+                "P={p:<3} {label:<38} {} s ({:+5.1}% vs seq/P) msgs={} misses={} probes={} threads={} \
+                 local/ovh/idle = {l:.1}/{o:.1}/{i:.1}%",
+                fmt_secs(r.makespan_ns),
+                100.0 * (r.makespan_ns as f64 * p as f64 / seq as f64 - 1.0),
+                s.total_msgs(),
+                s.user_total("cache_misses").max(s.user_total("requests_issued")),
+                s.user_total("cache_probes"),
+                s.user_total("threads_created"),
+            );
+        }
+    }
+
+    println!("=== FMM {fmm_n} particles, {fmm_p} terms ===");
+    let fseq = {
+        let w = fmm_world_sized(fmm_n, fmm_p, 1);
+        let r = run_fmm(&w, DpaConfig::sequential(), paper_net());
+        println!(
+            "seq: {} s  m2l={} p2p_pairs={}",
+            fmt_secs(r.makespan_ns),
+            r.m2l_count,
+            r.p2p_pairs
+        );
+        r.makespan_ns
+    };
+    for p in [1u16, 2, 16, 64] {
+        let w = fmm_world_sized(fmm_n, fmm_p, p);
+        for cfg in [DpaConfig::dpa(50), DpaConfig::caching()] {
+            let label = cfg.describe();
+            let r = run_fmm(&w, cfg, paper_net());
+            let s = merge_stats(&r.m2l_stats, &r.eval_stats);
+            let (l, o, i) = breakdown_pct(&s);
+            println!(
+                "P={p:<3} {label:<38} {} s ({:+5.1}% vs seq/P) msgs={} misses={} probes={} threads={} \
+                 local/ovh/idle = {l:.1}/{o:.1}/{i:.1}%",
+                fmt_secs(r.makespan_ns),
+                100.0 * (r.makespan_ns as f64 * p as f64 / fseq as f64 - 1.0),
+                s.total_msgs(),
+                s.user_total("cache_misses").max(s.user_total("requests_issued")),
+                s.user_total("cache_probes"),
+                s.user_total("threads_created"),
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Per-phase, per-node diagnostic for the FMM idle-time investigation.
+
+use apps::driver::run_fmm;
+use bench::*;
+use dpa_core::DpaConfig;
+
+fn main() {
+    let quick = has_flag("--quick");
+    let (n, terms) = if quick { (8_192, 16) } else { (PAPER_FMM_PARTICLES, PAPER_FMM_TERMS) };
+    for p in [16u16] {
+        let w = fmm_world_sized(n, terms, p);
+        println!(
+            "part_level={} levels={} owned boxes/leaves per node:",
+            w.part_level,
+            w.solver.params.levels
+        );
+        for node in 0..p {
+            let boxes = w.owned_boxes(node).len();
+            let leaves = w.owned_leaves(node).len();
+            let parts: usize = w
+                .owned_leaves(node)
+                .iter()
+                .map(|b| w.solver.tree.particles_in(*b).len())
+                .sum();
+            print!("  n{node}: {boxes}b/{leaves}l/{parts}p");
+        }
+        println!();
+        let r = run_fmm(&w, DpaConfig::dpa(50), paper_net());
+        println!(
+            "P={p} m2l phase {} s, eval phase {} s",
+            fmt_secs(r.m2l_stats.makespan.as_ns()),
+            fmt_secs(r.eval_stats.makespan.as_ns())
+        );
+        for (name, st) in [("m2l", &r.m2l_stats), ("eval", &r.eval_stats)] {
+            print!("{name}: local(s) per node:");
+            for ns in &st.nodes {
+                print!(" {:.3}", ns.local.as_secs_f64());
+            }
+            println!();
+            print!("{name}: idle(s)  per node:");
+            for ns in &st.nodes {
+                print!(" {:.3}", ns.idle.as_secs_f64());
+            }
+            println!();
+        }
+    }
+}

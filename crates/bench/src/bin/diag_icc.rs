@@ -1,0 +1,66 @@
+//! Diagnostic: dump the compiled thread structure of a Mini-ICC kernel.
+//!
+//! Pass a source path as the first argument, or omit it to dump the
+//! built-in Barnes-Hut potential kernel.
+
+const DEFAULT_KERNEL: &str = "
+struct Cell {
+  mass: float; cx: float; cy: float; cz: float; size: float; nb: int;
+  c0: Cell*; c1: Cell*; c2: Cell*; c3: Cell*;
+  c4: Cell*; c5: Cell*; c6: Cell*; c7: Cell*;
+}
+fn pot(c: Cell*, px: float, py: float, pz: float) -> float {
+  if (c == null) { return 0.0; }
+  let dx: float = c->cx - px;
+  let dy: float = c->cy - py;
+  let dz: float = c->cz - pz;
+  let d2: float = dx*dx + dy*dy + dz*dz + 0.0025;
+  if (c->size * c->size < d2) {
+    return c->mass / sqrt(d2);
+  }
+  if (c->nb <= 1) {
+    return c->mass / sqrt(d2);
+  }
+  let a0: float = 0.0;
+  let a1: float = 0.0;
+  let a2: float = 0.0;
+  let a3: float = 0.0;
+  let a4: float = 0.0;
+  let a5: float = 0.0;
+  let a6: float = 0.0;
+  let a7: float = 0.0;
+  conc {
+    a0 = pot(c->c0, px, py, pz);
+    a1 = pot(c->c1, px, py, pz);
+    a2 = pot(c->c2, px, py, pz);
+    a3 = pot(c->c3, px, py, pz);
+    a4 = pot(c->c4, px, py, pz);
+    a5 = pot(c->c5, px, py, pz);
+    a6 = pot(c->c6, px, py, pz);
+    a7 = pot(c->c7, px, py, pz);
+  }
+  return a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7;
+}";
+
+fn main() {
+    let src = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => DEFAULT_KERNEL.to_string(),
+    };
+    match dpa_compiler::compile_source(&src) {
+        Ok(p) => {
+            println!("{}", p.dump());
+            for st in &p.stats {
+                println!(
+                    "fn {}: {} templates, {} demand sites, {} fork sites, {} call sites",
+                    st.name, st.templates, st.demand_sites, st.fork_sites, st.call_sites
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

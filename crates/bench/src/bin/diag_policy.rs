@@ -1,0 +1,19 @@
+//! Diagnostic: effect of the cell-ownership policy on remote-read counts
+//! and execution time, per variant.
+
+use apps::bh_dist::{BhCost, BhWorld, OwnerPolicy};
+use apps::driver::run_bh;
+use dpa_core::DpaConfig;
+use nbody::bh::BhParams;
+use nbody::distrib::plummer;
+
+fn main() {
+    for policy in [OwnerPolicy::Builder, OwnerPolicy::CmRegion, OwnerPolicy::Scatter] {
+        let w = BhWorld::build_with_policy(plummer(16384, 1997), 16, 1, BhParams::default(), BhCost::default(), policy);
+        for cfg in [DpaConfig::dpa(50), DpaConfig::caching()] {
+            let r = run_bh(&w, cfg.clone(), sim_net::NetConfig::default());
+            println!("{policy:?} {}: {:.3}s misses={}", cfg.describe(), r.makespan_ns as f64/1e9,
+                r.stats.user_total("requests_issued").max(r.stats.user_total("cache_misses")));
+        }
+    }
+}

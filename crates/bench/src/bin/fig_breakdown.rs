@@ -1,0 +1,89 @@
+//! **Breakdown figure** — total computation time split into idle time,
+//! communication overhead, and local computation, with the speedup atop
+//! each bar, across the communication-optimization ladder:
+//!
+//! * `Base` — DPA threads + tiling only: requests sent one batch per
+//!   quiescence, each round trip exposed;
+//! * `+Pipeline` — requests issued eagerly, transfers overlap local work;
+//! * `+Pipe+Agg` — full DPA: pipelining plus per-destination aggregation.
+//!
+//! Expected shape (the paper's figure): Base bars dominated by idle time;
+//! pipelining converts idle into overlap; aggregation then shrinks the
+//! communication-overhead band; speedups rise along the ladder.
+//!
+//! Run with `--quick` for a reduced problem size.
+
+use apps::driver::{merge_stats, run_bh, run_fmm};
+use bench::*;
+use dpa_core::DpaConfig;
+
+fn main() {
+    let quick = has_flag("--quick");
+    let (bh_n, fmm_n, fmm_p) = if quick {
+        (2_048, 4_096, 12)
+    } else {
+        (PAPER_BH_BODIES, PAPER_FMM_PARTICLES, PAPER_FMM_TERMS)
+    };
+    let procs: &[u16] = if quick { &[4, 16] } else { &[4, 16, 64] };
+    let ladder = [
+        ("Base     ", DpaConfig::dpa_base(50)),
+        ("+Pipeline", DpaConfig::dpa_pipeline(50)),
+        ("+Pipe+Agg", DpaConfig::dpa(50)),
+    ];
+    let mut points = Vec::new();
+
+    println!("== Breakdown figure: local / comm-overhead / idle (% of bar), speedup on top ==");
+
+    println!("\n-- BARNES-HUT ({bh_n} bodies) --");
+    let bh_seq = {
+        let w = bh_world_sized(bh_n, 1);
+        run_bh(&w, DpaConfig::sequential(), paper_net()).makespan_ns
+    };
+    for &p in procs {
+        let w = bh_world_sized(bh_n, p);
+        println!("P = {p}:");
+        for (label, cfg) in &ladder {
+            let r = run_bh(&w, cfg.clone(), paper_net());
+            let (l, o, i) = breakdown_pct(&r.stats);
+            let speedup = bh_seq as f64 / r.makespan_ns as f64;
+            println!(
+                "  {label}  {:>8} s  |{}| {l:4.1}/{o:4.1}/{i:4.1}%  speedup {speedup:5.1}x  msgs {}",
+                fmt_secs(r.makespan_ns).trim(),
+                ascii_bar(l, o, i, 30),
+                r.stats.total_msgs()
+            );
+            points.push(
+                ExpPoint::new("fig_breakdown", "bh", label.trim(), p, r.makespan_ns, &r.stats)
+                    .with("speedup", speedup),
+            );
+        }
+    }
+
+    println!("\n-- FMM ({fmm_n} particles, {fmm_p} terms) --");
+    let fmm_seq = {
+        let w = fmm_world_sized(fmm_n, fmm_p, 1);
+        run_fmm(&w, DpaConfig::sequential(), paper_net()).makespan_ns
+    };
+    for &p in procs {
+        let w = fmm_world_sized(fmm_n, fmm_p, p);
+        println!("P = {p}:");
+        for (label, cfg) in &ladder {
+            let r = run_fmm(&w, cfg.clone(), paper_net());
+            let merged = merge_stats(&r.m2l_stats, &r.eval_stats);
+            let (l, o, i) = breakdown_pct(&merged);
+            let speedup = fmm_seq as f64 / r.makespan_ns as f64;
+            println!(
+                "  {label}  {:>8} s  |{}| {l:4.1}/{o:4.1}/{i:4.1}%  speedup {speedup:5.1}x  msgs {}",
+                fmt_secs(r.makespan_ns).trim(),
+                ascii_bar(l, o, i, 30),
+                merged.total_msgs()
+            );
+            points.push(
+                ExpPoint::new("fig_breakdown", "fmm", label.trim(), p, r.makespan_ns, &merged)
+                    .with("speedup", speedup),
+            );
+        }
+    }
+
+    dump_json("fig_breakdown", &points);
+}

@@ -1,0 +1,119 @@
+//! **Crossover study** (extension) — where do the schemes cross as the
+//! workload's communication intensity varies?
+//!
+//! The paper's Table 1 shows caching ahead of DPA at P = 1 (no
+//! communication: pure overhead comparison) and behind at P ≥ 2. This
+//! sweep generalizes that crossover on the synthetic pointer-chasing
+//! workload by varying the remote fraction (communication volume) and the
+//! shared fraction (reuse): DPA's fixed thread overhead buys latency
+//! tolerance that pays off past a small remote fraction; caching needs
+//! reuse to beat blocking at all.
+
+use bench::{dump_json, has_flag, paper_net, ExpPoint};
+use dpa_core::synth::{SynthApp, SynthParams, SynthWorld};
+use dpa_core::{run_phase, DpaConfig};
+
+fn main() {
+    let quick = has_flag("--quick");
+    let (lists, len) = if quick { (24, 24) } else { (64, 48) };
+    let nodes = 16u16;
+    let mut points = Vec::new();
+
+    println!("== Crossover: time (ms) vs remote fraction (P = {nodes}, shared = 0.5) ==");
+    println!(
+        "  {:<8} {:>10} {:>10} {:>10}  winner",
+        "remote%", "DPA", "Caching", "Blocking"
+    );
+    for remote in [0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8] {
+        let world = SynthWorld::build(SynthParams {
+            nodes,
+            lists_per_node: lists,
+            list_len: len,
+            remote_fraction: remote,
+            shared_fraction: 0.5,
+            record_bytes: 32,
+            work_ns: 900,
+            seed: 0xC505,
+        });
+        let mut time = |cfg: DpaConfig| {
+            let label = cfg.describe();
+            let r = run_phase(
+                nodes,
+                paper_net(),
+                cfg,
+                |i| SynthApp::new(world.clone(), i, 900),
+                |_, _| {},
+            );
+            points.push(
+                ExpPoint::new(
+                    "fig_crossover",
+                    "synth",
+                    &label,
+                    nodes,
+                    r.makespan().as_ns(),
+                    &r.stats,
+                )
+                .with("remote_fraction", remote),
+            );
+            r.makespan().as_ns() as f64 / 1e6
+        };
+        let dpa = time(DpaConfig::dpa(16));
+        let cache = time(DpaConfig::caching());
+        let block = time(DpaConfig::blocking());
+        let winner = if dpa <= cache && dpa <= block {
+            "DPA"
+        } else if cache <= block {
+            "Caching"
+        } else {
+            "Blocking"
+        };
+        println!("  {:<8.2} {dpa:>10.2} {cache:>10.2} {block:>10.2}  {winner}", remote);
+    }
+
+    println!("\n== Crossover: time (ms) vs shared fraction (remote = 0.4) ==");
+    println!(
+        "  {:<8} {:>10} {:>10} {:>10}  caching vs blocking",
+        "shared%", "DPA", "Caching", "Blocking"
+    );
+    for shared in [0.0, 0.2, 0.4, 0.6, 0.8, 0.95] {
+        let world = SynthWorld::build(SynthParams {
+            nodes,
+            lists_per_node: lists,
+            list_len: len,
+            remote_fraction: 0.4,
+            shared_fraction: shared,
+            record_bytes: 32,
+            work_ns: 900,
+            seed: 0xC506,
+        });
+        let mut time = |cfg: DpaConfig| {
+            let label = cfg.describe();
+            let r = run_phase(
+                nodes,
+                paper_net(),
+                cfg,
+                |i| SynthApp::new(world.clone(), i, 900),
+                |_, _| {},
+            );
+            points.push(
+                ExpPoint::new(
+                    "fig_crossover",
+                    "synth",
+                    &label,
+                    nodes,
+                    r.makespan().as_ns(),
+                    &r.stats,
+                )
+                .with("shared_fraction", shared),
+            );
+            r.makespan().as_ns() as f64 / 1e6
+        };
+        let dpa = time(DpaConfig::dpa(16));
+        let cache = time(DpaConfig::caching());
+        let block = time(DpaConfig::blocking());
+        let rel = if cache < block { "caching ahead" } else { "blocking ahead" };
+        println!("  {:<8.2} {dpa:>10.2} {cache:>10.2} {block:>10.2}  {rel}", shared);
+    }
+
+    dump_json("fig_crossover", &points);
+}

@@ -1,0 +1,72 @@
+//! **Strip-size figure** — sensitivity of DPA to the k-bounded strip size
+//! of the top-level concurrent loop, on 16 nodes (the paper runs FMM with
+//! strip size 300 on 16 nodes and Barnes-Hut with strip 50).
+//!
+//! Expected shape: tiny strips leave no concurrency to overlap or
+//! aggregate (round trips exposed at every window stall); performance
+//! improves steeply to a plateau; very large strips sag mildly as the
+//! runtime's working set of suspended threads outgrows fast storage
+//! (thread-state memory is the documented cost of DPA).
+//!
+//! Run with `--quick` for a reduced problem size.
+
+use apps::driver::{merge_stats, run_bh, run_fmm};
+use bench::*;
+use dpa_core::DpaConfig;
+
+fn main() {
+    let quick = has_flag("--quick");
+    let (bh_n, fmm_n, fmm_p) = if quick {
+        (2_048, 4_096, 12)
+    } else {
+        (PAPER_BH_BODIES, PAPER_FMM_PARTICLES, PAPER_FMM_TERMS)
+    };
+    let p: u16 = 16;
+    let strips: &[usize] = &[1, 4, 10, 50, 100, 300, 1000, 4000];
+    let mut points = Vec::new();
+
+    println!("== Strip-size figure (P = {p}) ==");
+
+    println!("\n-- BARNES-HUT ({bh_n} bodies) --");
+    let w = bh_world_sized(bh_n, p);
+    for &s in strips {
+        let r = run_bh(&w, DpaConfig::dpa(s), paper_net());
+        let (l, o, i) = breakdown_pct(&r.stats);
+        println!(
+            "  strip {s:>5}: {:>8} s   local {l:5.1}% ovh {o:5.1}% idle {i:5.1}%  peak aligned threads {}",
+            fmt_secs(r.makespan_ns).trim(),
+            r.stats.user_max("peak_aligned_threads"),
+        );
+        points.push(
+            ExpPoint::new("fig_stripsize", "bh", &format!("strip={s}"), p, r.makespan_ns, &r.stats)
+                .with("strip", s as f64)
+                .with(
+                    "peak_aligned_threads",
+                    r.stats.user_max("peak_aligned_threads") as f64,
+                ),
+        );
+    }
+
+    println!("\n-- FMM ({fmm_n} particles, {fmm_p} terms) --");
+    let w = fmm_world_sized(fmm_n, fmm_p, p);
+    for &s in strips {
+        let r = run_fmm(&w, DpaConfig::dpa(s), paper_net());
+        let merged = merge_stats(&r.m2l_stats, &r.eval_stats);
+        let (l, o, i) = breakdown_pct(&merged);
+        println!(
+            "  strip {s:>5}: {:>8} s   local {l:5.1}% ovh {o:5.1}% idle {i:5.1}%  peak aligned threads {}",
+            fmt_secs(r.makespan_ns).trim(),
+            merged.user_max("peak_aligned_threads"),
+        );
+        points.push(
+            ExpPoint::new("fig_stripsize", "fmm", &format!("strip={s}"), p, r.makespan_ns, &merged)
+                .with("strip", s as f64)
+                .with(
+                    "peak_aligned_threads",
+                    merged.user_max("peak_aligned_threads") as f64,
+                ),
+        );
+    }
+
+    dump_json("fig_stripsize", &points);
+}

@@ -1,0 +1,130 @@
+//! **Table 1** — execution times of DPA (strip 50) vs the software-caching
+//! baseline on the Barnes-Hut and FMM force phases, P = 1..64.
+//!
+//! Paper reference values (seconds, Cray T3D):
+//!
+//! ```text
+//! BARNES-HUT  P:      1      2      4      8     16     32     64
+//!   DPA (50)     118.02  61.23  33.05  17.15   8.59   4.48   2.63
+//!   Caching      115.15  65.77  38.02  20.21  10.46   5.41   2.90
+//! FMM         P:             2      4      8     16     32     64
+//!   DPA (50)              7.39   3.80   1.91    ...    ...    ...
+//! Sequential: BH 97.84 s (4 steps), FMM 14.46 s.
+//! ```
+//!
+//! We report one force phase (paper times 4 BH steps; BH numbers below are
+//! scaled ×4 to compare). Expected *shape*: caching slightly ahead at
+//! P = 1 (DPA pays thread creation, caching only hashing), DPA ahead at
+//! every P ≥ 2, near-linear DPA scaling to 64 nodes.
+//!
+//! Run with `--quick` for a reduced problem size.
+
+use apps::driver::{merge_stats, run_bh, run_fmm};
+use bench::*;
+use dpa_core::DpaConfig;
+
+fn main() {
+    let quick = has_flag("--quick");
+    let (bh_n, fmm_n, fmm_p) = if quick {
+        (2_048, 4_096, 12)
+    } else {
+        (PAPER_BH_BODIES, PAPER_FMM_PARTICLES, PAPER_FMM_TERMS)
+    };
+    let procs: &[u16] = if quick {
+        &[1, 2, 4, 8, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
+    let mut points = Vec::new();
+
+    println!("== Table 1: execution times (simulated seconds) ==");
+    println!(
+        "BH: {bh_n} bodies x{PAPER_BH_STEPS} steps | FMM: {fmm_n} particles, {fmm_p} terms | net {:?}",
+        paper_net()
+    );
+
+    // Sequential references.
+    let bh_seq = {
+        let w = bh_world_sized(bh_n, 1);
+        let r = run_bh(&w, DpaConfig::sequential(), paper_net());
+        r.makespan_ns * PAPER_BH_STEPS
+    };
+    let fmm_seq = {
+        let w = fmm_world_sized(fmm_n, fmm_p, 1);
+        let r = run_fmm(&w, DpaConfig::sequential(), paper_net());
+        r.makespan_ns
+    };
+    println!(
+        "Sequential: BH {} s (paper 97.84), FMM {} s (paper 14.46)\n",
+        fmt_secs(bh_seq).trim(),
+        fmt_secs(fmm_seq).trim()
+    );
+
+    println!("BARNES-HUT        P {}",
+        procs.iter().map(|p| format!("{p:>9}")).collect::<String>());
+    for (label, cfg) in [
+        ("DPA (50)", DpaConfig::dpa(50)),
+        ("Caching ", DpaConfig::caching()),
+    ] {
+        let mut row = format!("  {label}        ");
+        for &p in procs {
+            let w = bh_world_sized(bh_n, p);
+            let r = run_bh(&w, cfg.clone(), paper_net());
+            let ns = r.makespan_ns * PAPER_BH_STEPS;
+            row.push_str(&fmt_secs(ns));
+            row.push(' ');
+            points.push(
+                ExpPoint::new("table1", "bh", label.trim(), p, ns, &r.stats)
+                    .with("speedup_vs_seq", bh_seq as f64 / ns as f64),
+            );
+        }
+        println!("{row}");
+    }
+
+    println!("FMM               P {}",
+        procs.iter().map(|p| format!("{p:>9}")).collect::<String>());
+    for (label, cfg) in [
+        ("DPA (50)", DpaConfig::dpa(50)),
+        ("Caching ", DpaConfig::caching()),
+    ] {
+        let mut row = format!("  {label}        ");
+        for &p in procs {
+            let w = fmm_world_sized(fmm_n, fmm_p, p);
+            let r = run_fmm(&w, cfg.clone(), paper_net());
+            row.push_str(&fmt_secs(r.makespan_ns));
+            row.push(' ');
+            let merged = merge_stats(&r.m2l_stats, &r.eval_stats);
+            points.push(
+                ExpPoint::new("table1", "fmm", label.trim(), p, r.makespan_ns, &merged)
+                    .with("speedup_vs_seq", fmm_seq as f64 / r.makespan_ns as f64),
+            );
+        }
+        println!("{row}");
+    }
+
+    // Headline speedups (the paper quotes >42x BH, 54x FMM at 64 nodes).
+    let last = *procs.last().unwrap();
+    let bh_dpa_last = points
+        .iter()
+        .find(|x| x.app == "bh" && x.config == "DPA (50)" && x.nodes == last)
+        .unwrap();
+    let bh_dpa_one = points
+        .iter()
+        .find(|x| x.app == "bh" && x.config == "DPA (50)" && x.nodes == 1)
+        .unwrap();
+    println!(
+        "\nBH DPA speedup @P={last}: {:.1}x vs 1-node DPA (paper: >42x), {:.1}x vs sequential",
+        bh_dpa_one.seconds / bh_dpa_last.seconds,
+        bh_seq as f64 / 1e9 / bh_dpa_last.seconds,
+    );
+    let fmm_dpa_last = points
+        .iter()
+        .find(|x| x.app == "fmm" && x.config == "DPA (50)" && x.nodes == last)
+        .unwrap();
+    println!(
+        "FMM DPA speedup @P={last}: {:.1}x vs sequential (paper: 54x @64)",
+        fmm_seq as f64 / 1e9 / fmm_dpa_last.seconds,
+    );
+
+    dump_json("table1_exec_times", &points);
+}

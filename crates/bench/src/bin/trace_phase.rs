@@ -1,0 +1,68 @@
+//! Export a per-node execution timeline of a force phase as Chrome
+//! trace-event JSON (open in `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! The Gantt view is the per-node form of the paper's breakdown figure:
+//! colored spans are local work and communication overhead; the gaps are
+//! idle time. Comparing `--variant dpa` against `--variant blocking` makes
+//! the latency-tolerance story visible span by span.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin trace_phase -- [--variant dpa|base|caching|blocking]
+//! ```
+
+use bench::*;
+use dpa_core::synth::{SynthApp, SynthParams, SynthWorld};
+use dpa_core::{run_phase_traced, DpaConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let variant = args
+        .iter()
+        .position(|a| a == "--variant")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("dpa");
+    let cfg = match variant {
+        "dpa" => DpaConfig::dpa(16),
+        "base" => DpaConfig::dpa_base(16),
+        "caching" => DpaConfig::caching(),
+        "blocking" => DpaConfig::blocking(),
+        other => panic!("unknown variant `{other}` (dpa|base|caching|blocking)"),
+    };
+
+    let nodes = 8u16;
+    let world = SynthWorld::build(SynthParams {
+        nodes,
+        lists_per_node: 48,
+        list_len: 40,
+        remote_fraction: 0.5,
+        shared_fraction: 0.5,
+        record_bytes: 32,
+        work_ns: 900,
+        seed: 0x7ACE,
+    });
+
+    let (report, trace) = run_phase_traced(
+        nodes,
+        paper_net(),
+        cfg.clone(),
+        |i| SynthApp::new(world.clone(), i, 900),
+        |_, _| {},
+        1 << 20,
+    );
+    assert!(report.completed);
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join(format!("trace_{variant}.json"));
+    std::fs::write(&path, trace.to_chrome_json()).expect("write trace");
+    let (l, o, i) = breakdown_pct(&report.stats);
+    println!(
+        "{}: makespan {}, {} spans ({} dropped), local/ovh/idle = {l:.1}/{o:.1}/{i:.1}%",
+        cfg.describe(),
+        report.makespan(),
+        trace.spans().len(),
+        trace.dropped,
+    );
+    println!("wrote {} — open in chrome://tracing or ui.perfetto.dev", path.display());
+}

@@ -1,0 +1,228 @@
+//! # bench — experiment harness regenerating the paper's tables & figures
+//!
+//! One binary per artifact (see `DESIGN.md`'s experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1_exec_times` | Table 1: DPA(50) vs Caching execution times, P = 1..64 |
+//! | `fig_breakdown` | breakdown figure: idle/overhead/local per optimization level |
+//! | `fig_stripsize` | strip-size figure: sensitivity on 16 nodes |
+//! | `table_thread_stats` | thread-statistics table: threads / requests / memory |
+//! | `fig_scaling` | speedup curves, naive blocking, placement ablation |
+//! | `fig_crossover` | extension: scheme crossovers vs remote/shared fraction |
+//! | `fig_clustered` | extension: non-uniform inputs, uniform vs adaptive FMM |
+//! | `fig_cache` | extension: bounded-cache (FIFO/LRU) baseline ablation |
+//! | `trace_phase` | extension: per-node Gantt timeline (Chrome/Perfetto JSON) |
+//! | `calibrate`, `diag_*` | calibration & diagnostic dumps |
+//!
+//! Shared here: paper-scale workload builders, row formatting, and JSON
+//! result dumping (consumed when updating `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apps::bh_dist::{BhCost, BhWorld};
+use apps::fmm_dist::{FmmCost, FmmWorld};
+use nbody::bh::BhParams;
+use nbody::cx::Cx;
+use nbody::distrib::{plummer, uniform_square};
+use nbody::fmm::FmmParams;
+use serde::Serialize;
+use sim_net::{NetConfig, RunStats};
+use std::sync::Arc;
+
+/// The paper's Barnes-Hut problem size.
+pub const PAPER_BH_BODIES: usize = 16_384;
+/// The paper's FMM problem size.
+pub const PAPER_FMM_PARTICLES: usize = 32_768;
+/// The paper's FMM term count.
+pub const PAPER_FMM_TERMS: usize = 29;
+/// Octree leaf capacity for the paper-scale Barnes-Hut worlds.
+pub const BH_LEAF_CAP: usize = 1;
+/// The paper times 4 Barnes-Hut steps; we time one force phase and scale.
+pub const PAPER_BH_STEPS: u64 = 4;
+
+/// Standard seed for the paper-scale worlds.
+pub const SEED: u64 = 1997;
+
+/// Build the paper-scale Barnes-Hut world for `nodes`.
+pub fn paper_bh_world(nodes: u16) -> Arc<BhWorld> {
+    BhWorld::build(
+        plummer(PAPER_BH_BODIES, SEED),
+        nodes,
+        BH_LEAF_CAP,
+        BhParams::default(),
+        BhCost::default(),
+    )
+}
+
+/// Build a scaled Barnes-Hut world (for quick runs / tests).
+pub fn bh_world_sized(bodies: usize, nodes: u16) -> Arc<BhWorld> {
+    BhWorld::build(
+        plummer(bodies, SEED),
+        nodes,
+        BH_LEAF_CAP,
+        BhParams::default(),
+        BhCost::default(),
+    )
+}
+
+/// Build the paper-scale FMM world for `nodes`.
+pub fn paper_fmm_world(nodes: u16) -> Arc<FmmWorld> {
+    fmm_world_sized(PAPER_FMM_PARTICLES, PAPER_FMM_TERMS, nodes)
+}
+
+/// Build a scaled FMM world.
+pub fn fmm_world_sized(particles: usize, terms: usize, nodes: u16) -> Arc<FmmWorld> {
+    let bodies = uniform_square(particles, SEED);
+    let zs: Vec<Cx> = bodies.iter().map(|b| Cx::new(b.pos.x, b.pos.y)).collect();
+    let qs: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
+    let levels = nbody::quadtree::QuadTree::level_for(particles, 16);
+    FmmWorld::build(
+        zs,
+        qs,
+        nodes,
+        FmmParams { terms, levels },
+        FmmCost::default(),
+    )
+}
+
+/// The T3D-like network in effect for all experiments.
+pub fn paper_net() -> NetConfig {
+    NetConfig::default()
+}
+
+/// One experiment data point, dumped as JSON for EXPERIMENTS.md.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExpPoint {
+    /// Experiment id (e.g. "table1").
+    pub experiment: String,
+    /// Application ("bh" / "fmm" / "synth").
+    pub app: String,
+    /// Configuration label.
+    pub config: String,
+    /// Node count.
+    pub nodes: u16,
+    /// Simulated execution time, seconds.
+    pub seconds: f64,
+    /// Mean per-node breakdown (local, overhead, idle) in seconds.
+    pub breakdown: (f64, f64, f64),
+    /// Total messages sent.
+    pub msgs: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Extra key/value metrics.
+    pub extra: Vec<(String, f64)>,
+}
+
+impl ExpPoint {
+    /// Build a point from a run's stats.
+    pub fn new(
+        experiment: &str,
+        app: &str,
+        config: &str,
+        nodes: u16,
+        makespan_ns: u64,
+        stats: &RunStats,
+    ) -> ExpPoint {
+        let (l, o, i) = stats.mean_breakdown();
+        ExpPoint {
+            experiment: experiment.to_string(),
+            app: app.to_string(),
+            config: config.to_string(),
+            nodes,
+            seconds: makespan_ns as f64 / 1e9,
+            breakdown: (l / 1e9, o / 1e9, i / 1e9),
+            msgs: stats.total_msgs(),
+            bytes: stats.total_bytes(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Attach an extra metric.
+    pub fn with(mut self, key: &str, value: f64) -> ExpPoint {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+}
+
+/// Write experiment points as pretty JSON under `results/`.
+pub fn dump_json(name: &str, points: &[ExpPoint]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(points) {
+            let _ = std::fs::write(&path, s);
+            eprintln!("[wrote {}]", path.display());
+        }
+    }
+}
+
+/// Format seconds like the paper's tables (two decimals).
+pub fn fmt_secs(ns: u64) -> String {
+    format!("{:8.2}", ns as f64 / 1e9)
+}
+
+/// Render a row of a breakdown bar as percentages.
+pub fn breakdown_pct(stats: &RunStats) -> (f64, f64, f64) {
+    let (l, o, i) = stats.mean_breakdown();
+    let t = (l + o + i).max(1.0);
+    (100.0 * l / t, 100.0 * o / t, 100.0 * i / t)
+}
+
+/// Parse `--quick` style flags: returns true if the flag is present.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Render a local/overhead/idle split as a fixed-width ASCII bar —
+/// `█` local, `▒` overhead, `·` idle — the textual form of the paper's
+/// breakdown figure.
+pub fn ascii_bar(local: f64, overhead: f64, idle: f64, width: usize) -> String {
+    let total = (local + overhead + idle).max(1e-12);
+    let mut l = ((local / total) * width as f64).round() as usize;
+    let mut o = ((overhead / total) * width as f64).round() as usize;
+    l = l.min(width);
+    o = o.min(width - l);
+    let i = width - l - o;
+    format!("{}{}{}", "█".repeat(l), "▒".repeat(o), "·".repeat(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worlds_build_at_small_scale() {
+        let bh = bh_world_sized(500, 4);
+        assert_eq!(bh.bodies.len(), 500);
+        let fmm = fmm_world_sized(400, 8, 4);
+        assert_eq!(fmm.solver.zs.len(), 400);
+    }
+
+    #[test]
+    fn fmt_secs_matches_paper_style() {
+        assert_eq!(fmt_secs(118_020_000_000).trim(), "118.02");
+        assert_eq!(fmt_secs(2_630_000_000).trim(), "2.63");
+    }
+
+    #[test]
+    fn ascii_bar_partitions_width() {
+        let b = ascii_bar(60.0, 20.0, 20.0, 20);
+        assert_eq!(b.chars().count(), 20);
+        assert_eq!(b.chars().filter(|&c| c == '█').count(), 12);
+        assert_eq!(b.chars().filter(|&c| c == '▒').count(), 4);
+        assert_eq!(b.chars().filter(|&c| c == '·').count(), 4);
+        // Degenerate inputs stay in-bounds.
+        assert_eq!(ascii_bar(0.0, 0.0, 0.0, 10).chars().count(), 10);
+        assert_eq!(ascii_bar(1.0, 0.0, 0.0, 10), "█".repeat(10));
+    }
+
+    #[test]
+    fn exp_point_records_breakdown() {
+        let stats = RunStats::default();
+        let p = ExpPoint::new("t", "bh", "DPA", 4, 1_500_000_000, &stats).with("x", 2.0);
+        assert_eq!(p.seconds, 1.5);
+        assert_eq!(p.extra[0].1, 2.0);
+    }
+}

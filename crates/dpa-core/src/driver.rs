@@ -1,0 +1,110 @@
+//! Phase orchestration: build a machine for a configuration, run it, and
+//! hand back both the timing report and the per-node application state.
+
+use crate::config::{DpaConfig, Variant};
+use crate::proc_caching::CachingProc;
+use crate::proc_dpa::DpaProc;
+use crate::work::PtrApp;
+use sim_net::{Machine, NetConfig, NodeId, RunReport, Trace};
+
+/// Run one phase of `app` instances (one per node) under `cfg` on a
+/// `nodes`-node machine with network `net`.
+///
+/// `mk` builds the per-node application; `collect` is called once per node
+/// after the run with the node id and its final application state (e.g. to
+/// gather computed forces). Panics if the run stalls (fault injection is
+/// exercised through [`run_phase_faulty`] instead).
+pub fn run_phase<A: PtrApp>(
+    nodes: u16,
+    net: NetConfig,
+    cfg: DpaConfig,
+    mk: impl FnMut(u16) -> A,
+    collect: impl FnMut(u16, &A),
+) -> RunReport {
+    let report = run_phase_faulty(nodes, net, cfg, mk, collect);
+    assert!(
+        report.completed,
+        "phase stalled: {} packets dropped",
+        report.stats.dropped_packets
+    );
+    report
+}
+
+/// Like [`run_phase`] but also records a per-node execution timeline
+/// (exportable via [`Trace::to_chrome_json`]). `capacity` bounds the span
+/// count.
+pub fn run_phase_traced<A: PtrApp>(
+    nodes: u16,
+    net: NetConfig,
+    cfg: DpaConfig,
+    mut mk: impl FnMut(u16) -> A,
+    mut collect: impl FnMut(u16, &A),
+    capacity: usize,
+) -> (RunReport, Trace) {
+    assert!(nodes >= 1);
+    match cfg.variant {
+        Variant::Dpa | Variant::Sequential => {
+            let procs: Vec<_> = (0..nodes)
+                .map(|i| DpaProc::new(mk(i), nodes as usize, cfg.clone()))
+                .collect();
+            let mut m = Machine::new(procs, net);
+            m.enable_tracing(capacity);
+            let report = m.run();
+            for i in 0..nodes {
+                collect(i, m.proc(NodeId(i)).app());
+            }
+            (report, m.take_trace().expect("tracing enabled"))
+        }
+        Variant::Caching | Variant::Blocking => {
+            let procs: Vec<_> = (0..nodes)
+                .map(|i| CachingProc::new(mk(i), cfg.clone()))
+                .collect();
+            let mut m = Machine::new(procs, net);
+            m.enable_tracing(capacity);
+            let report = m.run();
+            for i in 0..nodes {
+                collect(i, m.proc(NodeId(i)).app());
+            }
+            (report, m.take_trace().expect("tracing enabled"))
+        }
+    }
+}
+
+/// Like [`run_phase`] but tolerates an incomplete run (for fault-injection
+/// tests); check [`RunReport::completed`].
+pub fn run_phase_faulty<A: PtrApp>(
+    nodes: u16,
+    net: NetConfig,
+    cfg: DpaConfig,
+    mut mk: impl FnMut(u16) -> A,
+    mut collect: impl FnMut(u16, &A),
+) -> RunReport {
+    assert!(nodes >= 1);
+    if matches!(cfg.variant, Variant::Sequential) {
+        assert_eq!(nodes, 1, "the sequential reference runs on one node");
+    }
+    match cfg.variant {
+        Variant::Dpa | Variant::Sequential => {
+            let procs: Vec<_> = (0..nodes)
+                .map(|i| DpaProc::new(mk(i), nodes as usize, cfg.clone()))
+                .collect();
+            let mut m = Machine::new(procs, net);
+            let report = m.run();
+            for i in 0..nodes {
+                collect(i, m.proc(NodeId(i)).app());
+            }
+            report
+        }
+        Variant::Caching | Variant::Blocking => {
+            let procs: Vec<_> = (0..nodes)
+                .map(|i| CachingProc::new(mk(i), cfg.clone()))
+                .collect();
+            let mut m = Machine::new(procs, net);
+            let report = m.run();
+            for i in 0..nodes {
+                collect(i, m.proc(NodeId(i)).app());
+            }
+            report
+        }
+    }
+}

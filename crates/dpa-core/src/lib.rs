@@ -1,0 +1,50 @@
+//! # dpa-core — the Dynamic Pointer Alignment runtime
+//!
+//! The paper's primary contribution (Zhang & Chien, PPoPP'97): generalize
+//! loop tiling and communication optimizations — message pipelining and
+//! aggregation — to pointer-based data structures, where neither precise
+//! aliasing nor the iteration space is known at compile time.
+//!
+//! **How it works.** The compiler half (see the `dpa-compiler` crate)
+//! decomposes a computation into non-blocking threads, each labeled with
+//! the global pointer it will dereference. This crate is the runtime half:
+//!
+//! * an explicit mapping **M** from pointers to dependent threads
+//!   ([`mapping::PointerMap`]), updated at thread creation;
+//! * the outstanding-request table **D** ([`pending::PendingRequests`]);
+//! * a scheduler ([`proc_dpa::DpaProc`]) that k-bounds the top-level loop
+//!   (*strip-mining*), runs ready threads, and — when an object arrives —
+//!   releases every thread aligned under it in one batch (*tiling*);
+//! * a communication scheduler that issues requests eagerly so transfers
+//!   overlap local work (*pipelining*) and batches requests per
+//!   destination (*aggregation*, via `fastmsg`'s coalescing buffers).
+//!
+//! The baselines the paper compares against live here too
+//! ([`proc_caching::CachingProc`]): software caching (hash probe per
+//! access, blocking misses) and naive blocking. All drivers execute the
+//! *same* application decomposition ([`work::PtrApp`]), so every variant
+//! provably computes identical results; only scheduling and communication
+//! differ — exactly the paper's experimental design.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod driver;
+pub mod mapping;
+pub mod msg;
+mod owner;
+pub mod pending;
+pub mod proc_caching;
+pub mod proc_dpa;
+pub mod synth;
+pub mod work;
+
+pub use config::{CostModel, DpaConfig, Variant};
+pub use driver::{run_phase, run_phase_faulty, run_phase_traced};
+pub use mapping::PointerMap;
+pub use msg::DpaMsg;
+pub use pending::PendingRequests;
+pub use proc_caching::CachingProc;
+pub use proc_dpa::DpaProc;
+pub use work::{Emit, PtrApp, Tagged, WorkEnv};

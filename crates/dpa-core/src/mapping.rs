@@ -1,0 +1,166 @@
+//! **M** — the explicit pointer → dependent-threads mapping.
+//!
+//! This table is the heart of DPA: "an explicit mapping from pointers to
+//! dependent threads is updated at thread creation and is used to
+//! dynamically schedule both threads and communication". A thread that
+//! needs object `p` is *aligned* under `p`; when `p` arrives, every thread
+//! aligned under it is released in one batch — the dynamic analogue of
+//! tiling's iteration grouping.
+
+use global_heap::GPtr;
+use std::collections::HashMap;
+
+/// Pointer → dependent threads, with high-water-mark accounting for the
+/// paper's thread-statistics table.
+#[derive(Clone, Debug)]
+pub struct PointerMap<W> {
+    map: HashMap<GPtr, Vec<W>>,
+    live_threads: u64,
+    peak_threads: u64,
+    peak_keys: u64,
+    total_aligned: u64,
+}
+
+impl<W> Default for PointerMap<W> {
+    fn default() -> Self {
+        PointerMap {
+            map: HashMap::new(),
+            live_threads: 0,
+            peak_threads: 0,
+            peak_keys: 0,
+            total_aligned: 0,
+        }
+    }
+}
+
+impl<W> PointerMap<W> {
+    /// An empty mapping.
+    pub fn new() -> PointerMap<W> {
+        PointerMap::default()
+    }
+
+    /// Align `thread` under `ptr`. Returns `true` when this is the first
+    /// thread aligned under `ptr` — the caller must then ensure a request
+    /// for `ptr` is (or will be) outstanding.
+    pub fn align(&mut self, ptr: GPtr, thread: W) -> bool {
+        debug_assert!(!ptr.is_null());
+        self.total_aligned += 1;
+        self.live_threads += 1;
+        self.peak_threads = self.peak_threads.max(self.live_threads);
+        let waiters = self.map.entry(ptr).or_default();
+        waiters.push(thread);
+        let first = waiters.len() == 1;
+        if first {
+            self.peak_keys = self.peak_keys.max(self.map.len() as u64);
+        }
+        first
+    }
+
+    /// Release every thread aligned under `ptr` (its data has arrived).
+    /// Returns an empty vec if none were waiting.
+    pub fn release(&mut self, ptr: GPtr) -> Vec<W> {
+        match self.map.remove(&ptr) {
+            Some(v) => {
+                self.live_threads -= v.len() as u64;
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Threads currently aligned (waiting) across all pointers.
+    pub fn live_threads(&self) -> u64 {
+        self.live_threads
+    }
+
+    /// Distinct pointers with waiters.
+    pub fn keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no thread is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of threads waiting on `ptr` right now.
+    pub fn waiters(&self, ptr: GPtr) -> usize {
+        self.map.get(&ptr).map_or(0, |v| v.len())
+    }
+
+    /// Max simultaneous aligned threads over the phase.
+    pub fn peak_threads(&self) -> u64 {
+        self.peak_threads
+    }
+
+    /// Max simultaneous distinct pointers with waiters over the phase.
+    pub fn peak_keys(&self) -> u64 {
+        self.peak_keys
+    }
+
+    /// Total align operations over the phase.
+    pub fn total_aligned(&self) -> u64 {
+        self.total_aligned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use global_heap::ObjClass;
+
+    fn p(i: u64) -> GPtr {
+        GPtr::new(3, ObjClass(0), i)
+    }
+
+    #[test]
+    fn first_alignment_reports_true() {
+        let mut m: PointerMap<u32> = PointerMap::new();
+        assert!(m.align(p(1), 100));
+        assert!(!m.align(p(1), 101));
+        assert!(m.align(p(2), 200));
+        assert_eq!(m.waiters(p(1)), 2);
+        assert_eq!(m.keys(), 2);
+    }
+
+    #[test]
+    fn release_returns_all_in_alignment_order() {
+        let mut m: PointerMap<u32> = PointerMap::new();
+        m.align(p(1), 1);
+        m.align(p(1), 2);
+        m.align(p(1), 3);
+        assert_eq!(m.release(p(1)), vec![1, 2, 3]);
+        assert!(m.is_empty());
+        assert_eq!(m.release(p(1)), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn peaks_track_high_water() {
+        let mut m: PointerMap<u32> = PointerMap::new();
+        m.align(p(1), 1);
+        m.align(p(2), 2);
+        m.align(p(2), 3);
+        assert_eq!(m.peak_threads(), 3);
+        assert_eq!(m.peak_keys(), 2);
+        m.release(p(1));
+        m.release(p(2));
+        assert_eq!(m.live_threads(), 0);
+        assert_eq!(m.peak_threads(), 3);
+        assert_eq!(m.total_aligned(), 3);
+    }
+
+    #[test]
+    fn no_thread_is_lost() {
+        // Conservation: aligned == released + still-live, under any
+        // interleaving.
+        let mut m: PointerMap<u64> = PointerMap::new();
+        let mut released = 0u64;
+        for i in 0..500u64 {
+            m.align(p(i % 17), i);
+            if i % 5 == 0 {
+                released += m.release(p(i % 13)) .len() as u64;
+            }
+        }
+        assert_eq!(500, released + m.live_threads());
+    }
+}

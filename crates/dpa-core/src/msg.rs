@@ -1,0 +1,88 @@
+//! Wire messages exchanged by the runtime.
+//!
+//! Two message kinds suffice for the remote-read traffic the paper
+//! optimizes: a **request** naming the objects a node wants (8 bytes per
+//! pointer) and a **reply** carrying those objects' data. Aggregation shows
+//! up as multi-entry requests/replies; the MTU segments outsized replies.
+
+use global_heap::GPtr;
+use sim_net::MsgSize;
+
+/// A runtime message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DpaMsg {
+    /// "Send me these objects." Each entry is a packed global pointer.
+    Request(Vec<GPtr>),
+    /// "Here they are." Each entry is `(pointer, payload bytes)`; actual
+    /// data travels implicitly (single host address space), the byte count
+    /// drives wire cost and renamed-storage accounting.
+    Reply(Vec<(GPtr, u32)>),
+    /// Remote reductions: "fold these values into these objects." The
+    /// paper's future-work extension ("more general access patterns, such
+    /// as reductions"); commutative-associative, so batching and reorder
+    /// are semantics-preserving. No reply: the simulated machine drains
+    /// all deliveries before a phase can complete.
+    Update(Vec<(GPtr, f64)>),
+}
+
+impl DpaMsg {
+    /// Number of objects named by this message.
+    pub fn entries(&self) -> usize {
+        match self {
+            DpaMsg::Request(v) => v.len(),
+            DpaMsg::Reply(v) => v.len(),
+            DpaMsg::Update(v) => v.len(),
+        }
+    }
+}
+
+impl MsgSize for DpaMsg {
+    fn size_bytes(&self) -> u32 {
+        match self {
+            DpaMsg::Request(v) => (v.len() as u32) * GPtr::WIRE_BYTES,
+            DpaMsg::Reply(v) => v
+                .iter()
+                .map(|&(_, size)| size + GPtr::WIRE_BYTES)
+                .sum(),
+            DpaMsg::Update(v) => (v.len() as u32) * (GPtr::WIRE_BYTES + 8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use global_heap::ObjClass;
+
+    fn p(i: u64) -> GPtr {
+        GPtr::new(0, ObjClass(0), i)
+    }
+
+    #[test]
+    fn request_bytes() {
+        let m = DpaMsg::Request(vec![p(1), p(2), p(3)]);
+        assert_eq!(m.size_bytes(), 24);
+        assert_eq!(m.entries(), 3);
+    }
+
+    #[test]
+    fn reply_bytes_include_tags() {
+        let m = DpaMsg::Reply(vec![(p(1), 96), (p(2), 48)]);
+        assert_eq!(m.size_bytes(), 96 + 48 + 16);
+        assert_eq!(m.entries(), 2);
+    }
+
+    #[test]
+    fn empty_messages_are_zero_payload() {
+        assert_eq!(DpaMsg::Request(vec![]).size_bytes(), 0);
+        assert_eq!(DpaMsg::Reply(vec![]).size_bytes(), 0);
+        assert_eq!(DpaMsg::Update(vec![]).size_bytes(), 0);
+    }
+
+    #[test]
+    fn update_bytes_carry_pointer_and_value() {
+        let m = DpaMsg::Update(vec![(p(1), 0.5), (p(2), 1.5)]);
+        assert_eq!(m.size_bytes(), 2 * 16);
+        assert_eq!(m.entries(), 2);
+    }
+}

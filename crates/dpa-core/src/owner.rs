@@ -1,0 +1,45 @@
+//! Owner-side request service shared by every node driver.
+//!
+//! Whichever scheme the *requesting* node runs, the owner's job is the
+//! same: look up each requested object and stream it back, segmenting the
+//! reply at the MTU so large batches pay honest per-packet costs.
+
+use crate::config::DpaConfig;
+use crate::msg::DpaMsg;
+use crate::work::PtrApp;
+use global_heap::GPtr;
+use sim_net::{Ctx, NodeId};
+
+/// Service one incoming request batch: charge per-object lookup, then send
+/// one or more MTU-bounded replies to `src`. Returns the number of reply
+/// messages sent.
+pub(crate) fn service_request<A: PtrApp>(
+    app: &A,
+    cfg: &DpaConfig,
+    ctx: &mut Ctx<'_, DpaMsg>,
+    src: NodeId,
+    ptrs: Vec<GPtr>,
+) -> u64 {
+    let mtu = cfg.mtu.0;
+    let mut sent = 0u64;
+    let mut chunk: Vec<(GPtr, u32)> = Vec::new();
+    let mut chunk_bytes = 0u32;
+    for p in ptrs {
+        debug_assert!(p.is_local_to(ctx.me().0), "request for non-owned object");
+        ctx.charge_overhead(cfg.cost.owner_lookup_ns);
+        let size = app.object_size(p);
+        let entry = size + GPtr::WIRE_BYTES;
+        if !chunk.is_empty() && chunk_bytes + entry > mtu {
+            sent += 1;
+            ctx.send(src, DpaMsg::Reply(std::mem::take(&mut chunk)));
+            chunk_bytes = 0;
+        }
+        chunk_bytes += entry;
+        chunk.push((p, size));
+    }
+    if !chunk.is_empty() {
+        sent += 1;
+        ctx.send(src, DpaMsg::Reply(chunk));
+    }
+    sent
+}

@@ -1,0 +1,110 @@
+//! **D** — the table of outstanding remote requests.
+//!
+//! A pointer enters D when a request for it is handed to the communication
+//! scheduler and leaves when its reply installs the object. Membership
+//! suppresses duplicate requests (many threads aligned under one pointer
+//! cause exactly one fetch), and the peak size is the "max outstanding
+//! requests" column of the paper's statistics table.
+
+use global_heap::GPtr;
+use std::collections::HashSet;
+
+/// Outstanding remote requests for one node.
+#[derive(Clone, Debug, Default)]
+pub struct PendingRequests {
+    set: HashSet<GPtr>,
+    peak: u64,
+    total: u64,
+}
+
+impl PendingRequests {
+    /// An empty table.
+    pub fn new() -> PendingRequests {
+        PendingRequests::default()
+    }
+
+    /// Mark `ptr` requested. Returns `false` if it was already outstanding
+    /// (the duplicate must not generate a second message).
+    pub fn insert(&mut self, ptr: GPtr) -> bool {
+        debug_assert!(!ptr.is_null());
+        let fresh = self.set.insert(ptr);
+        if fresh {
+            self.total += 1;
+            self.peak = self.peak.max(self.set.len() as u64);
+        }
+        fresh
+    }
+
+    /// Clear `ptr` on reply arrival. Returns `false` for an unexpected
+    /// reply (a protocol bug upstream or duplicated delivery).
+    pub fn complete(&mut self, ptr: GPtr) -> bool {
+        self.set.remove(&ptr)
+    }
+
+    /// `true` if a request for `ptr` is in flight (or buffered).
+    pub fn contains(&self, ptr: GPtr) -> bool {
+        self.set.contains(&ptr)
+    }
+
+    /// Requests currently outstanding.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Max simultaneous outstanding requests over the phase.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Total distinct requests issued over the phase.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use global_heap::ObjClass;
+
+    fn p(i: u64) -> GPtr {
+        GPtr::new(1, ObjClass(0), i)
+    }
+
+    #[test]
+    fn duplicate_suppression() {
+        let mut d = PendingRequests::new();
+        assert!(d.insert(p(1)));
+        assert!(!d.insert(p(1)));
+        assert!(d.contains(p(1)));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.total(), 1);
+    }
+
+    #[test]
+    fn complete_clears() {
+        let mut d = PendingRequests::new();
+        d.insert(p(1));
+        assert!(d.complete(p(1)));
+        assert!(!d.complete(p(1)), "double completion must be visible");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut d = PendingRequests::new();
+        d.insert(p(1));
+        d.insert(p(2));
+        d.insert(p(3));
+        d.complete(p(2));
+        d.insert(p(4));
+        assert_eq!(d.peak(), 3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.total(), 4);
+    }
+}

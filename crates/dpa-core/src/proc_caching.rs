@@ -1,0 +1,312 @@
+//! The software-caching and naive-blocking baseline drivers.
+//!
+//! These run the *same* pointer-labeled work decomposition as the DPA
+//! driver — guaranteeing identical results — but schedule it the way the
+//! paper's comparison schemes do:
+//!
+//! * **Caching** — a sequential traversal per node with a hashed software
+//!   cache: every global access pays a probe; a miss sends one request and
+//!   *blocks* the node until the reply fills the cache. Reuse happens
+//!   (later probes hit), but round trips are fully exposed and messages
+//!   never aggregate.
+//! * **Blocking** — the same control structure with the cache reduced to a
+//!   single entry and free probes: every remote access is an exposed round
+//!   trip with no reuse. This is the naive "shared-memory port" lower
+//!   bound the paper's introduction motivates against.
+//!
+//! Both still service incoming requests from other nodes while blocked
+//! (the machine would deadlock otherwise), just as the T3D codes answer
+//! one-sided gets regardless of what the local CPU is doing.
+
+use crate::config::{DpaConfig, Variant};
+use crate::msg::DpaMsg;
+use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
+use global_heap::SoftCache;
+use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
+use std::collections::HashMap;
+
+struct Stalled<W> {
+    iter: u32,
+    work: W,
+}
+
+/// A caching/blocking baseline node.
+pub struct CachingProc<A: PtrApp> {
+    app: A,
+    cfg: DpaConfig,
+    probe_ns: u64,
+    fill_ns: u64,
+    stack: Vec<Tagged<A::Work>>,
+    /// Emission lists interrupted by a miss, resumed LIFO after the work
+    /// stack drains (preserving the depth-first order of a real blocking
+    /// traversal).
+    cont_stack: Vec<(u32, Vec<Emit<A::Work>>)>,
+    cache: SoftCache,
+    stalled: Option<Stalled<A::Work>>,
+    iter_live: HashMap<u32, u32>,
+    next_iter: usize,
+    total_iters: usize,
+    completed_iters: u64,
+    request_msgs: u64,
+    reply_msgs: u64,
+    update_msgs: u64,
+    updates_applied: u64,
+    stall_count: u64,
+    wake_scheduled: bool,
+    done: bool,
+}
+
+impl<A: PtrApp> CachingProc<A> {
+    /// Wrap one node's application instance. Panics unless `cfg.variant`
+    /// is [`Variant::Caching`] or [`Variant::Blocking`].
+    pub fn new(app: A, cfg: DpaConfig) -> CachingProc<A> {
+        let (capacity, probe_ns, fill_ns) = match cfg.variant {
+            Variant::Caching => (
+                cfg.cache_capacity,
+                cfg.cost.cache_probe_ns,
+                cfg.cost.cache_fill_ns,
+            ),
+            // One-entry cache keeps the just-fetched object readable while
+            // its dependent work runs, with no reuse beyond that.
+            Variant::Blocking => (Some(1), 0, 0),
+            v => panic!("CachingProc drives Caching/Blocking, got {v:?}"),
+        };
+        let policy = cfg.cache_policy;
+        let total_iters = app.num_iterations();
+        CachingProc {
+            app,
+            cfg,
+            probe_ns,
+            fill_ns,
+            stack: Vec::new(),
+            cont_stack: Vec::new(),
+            cache: SoftCache::with_policy(capacity, policy),
+            stalled: None,
+            iter_live: HashMap::new(),
+            next_iter: 0,
+            total_iters,
+            completed_iters: 0,
+            request_msgs: 0,
+            reply_msgs: 0,
+            update_msgs: 0,
+            updates_applied: 0,
+            stall_count: 0,
+            wake_scheduled: false,
+            done: false,
+        }
+    }
+
+    /// The wrapped application (post-run inspection).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Completed top-level iterations.
+    pub fn completed_iterations(&self) -> u64 {
+        self.completed_iters
+    }
+
+    fn finish_one_work(&mut self, iter: u32) {
+        let live = self
+            .iter_live
+            .get_mut(&iter)
+            .expect("finished work for unknown iteration");
+        *live -= 1;
+        if *live == 0 {
+            self.iter_live.remove(&iter);
+            self.completed_iters += 1;
+        }
+    }
+
+    /// Route emissions; returns `false` if a miss stalled the node (the
+    /// remaining emissions are saved for resume).
+    fn route_emissions(
+        &mut self,
+        ctx: &mut Ctx<'_, DpaMsg>,
+        iter: u32,
+        mut emits: Vec<Emit<A::Work>>,
+    ) -> bool {
+        let me = ctx.me().0;
+        // Consume from the back so stack order matches the DPA driver's
+        // depth-first order.
+        while let Some(e) = emits.pop() {
+            if let Emit::Accum(ptr, value) = e {
+                // Write-through, unaggregated: the baseline sends each
+                // remote reduction as its own message (no batching, no
+                // reply); local targets apply in place. Reductions are not
+                // threads, so they never enter the live count.
+                if ptr.is_local_to(me) {
+                    ctx.charge_overhead(self.fill_ns);
+                    self.updates_applied += 1;
+                    self.app.apply_update(ptr, value);
+                } else {
+                    self.update_msgs += 1;
+                    ctx.send(NodeId(ptr.node()), DpaMsg::Update(vec![(ptr, value)]));
+                }
+                continue;
+            }
+            *self.iter_live.entry(iter).or_insert(0) += 1;
+            match e {
+                Emit::Accum(..) => unreachable!("handled above"),
+                Emit::Local(work) => self.stack.push(Tagged { iter, work }),
+                Emit::Demand(ptr, work) => {
+                    // The baseline hashes on *every* global access, even
+                    // ones that turn out local; probes against a populated
+                    // table additionally thrash the hardware cache.
+                    ctx.charge_overhead(
+                        self.probe_ns + self.cfg.cost.probe_thrash_ns(self.cache.len()),
+                    );
+                    if ptr.is_local_to(me) {
+                        self.stack.push(Tagged { iter, work });
+                    } else if self.cache.probe(ptr) {
+                        // Hit: run this work *before* routing any sibling
+                        // that might trigger a fetch — a later fill could
+                        // evict the hit object (certain with the blocking
+                        // variant's one-entry cache). This is exactly the
+                        // depth-first order of a real blocking traversal.
+                        self.stack.push(Tagged { iter, work });
+                        if !emits.is_empty() {
+                            *self.iter_live.entry(iter).or_insert(0) += 1;
+                            self.cont_stack.push((iter, emits));
+                        }
+                        return true;
+                    } else {
+                        // Miss: one blocking round trip for this object.
+                        // The sibling emissions not yet routed resume only
+                        // after the blocked work's whole subtree finishes,
+                        // as in a real depth-first blocking traversal —
+                        // this also guarantees the filled object is still
+                        // cached (even with a one-entry cache) when its
+                        // dependent work reads it.
+                        self.request_msgs += 1;
+                        self.stall_count += 1;
+                        ctx.send(NodeId(ptr.node()), DpaMsg::Request(vec![ptr]));
+                        if !emits.is_empty() {
+                            // The stashed continuation counts as one live
+                            // unit so its iteration cannot complete early.
+                            *self.iter_live.entry(iter).or_insert(0) += 1;
+                            self.cont_stack.push((iter, emits));
+                        }
+                        self.stalled = Some(Stalled { iter, work });
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Sequential drive: run stack work; admit the next iteration only
+    /// when fully drained; stop at a miss.
+    fn drive(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        let slice_start = ctx.now();
+        let slice = Dur::from_ns(self.cfg.poll_interval_ns);
+        loop {
+            if self.stalled.is_some() || self.done {
+                return;
+            }
+            if let Some(t) = self.stack.pop() {
+                let mut env: WorkEnv<'_, A::Work> =
+                    WorkEnv::new(ctx.me().0, ctx.num_nodes(), Avail::Cached(&self.cache));
+                self.app.run_work(t.work, &mut env);
+                let (ns, emits) = env.finish();
+                ctx.charge_local(ns);
+                self.route_emissions(ctx, t.iter, emits);
+                self.finish_one_work(t.iter);
+                if ctx.now().since(slice_start) >= slice {
+                    if !self.wake_scheduled {
+                        self.wake_scheduled = true;
+                        ctx.wake_after(Dur::ZERO);
+                    }
+                    return;
+                }
+            } else if let Some((iter, emits)) = self.cont_stack.pop() {
+                self.route_emissions(ctx, iter, emits);
+                self.finish_one_work(iter); // retire the continuation unit
+            } else if self.next_iter < self.total_iters {
+                let iter = self.next_iter as u32;
+                self.next_iter += 1;
+                let mut env: WorkEnv<'_, A::Work> =
+                    WorkEnv::new(ctx.me().0, ctx.num_nodes(), Avail::Cached(&self.cache));
+                self.app.start_iteration(iter as usize, &mut env);
+                let (ns, emits) = env.finish();
+                ctx.charge_local(ns);
+                self.route_emissions(ctx, iter, emits);
+                // An iteration that spawned no threads (nothing, or only
+                // reductions) is already complete.
+                if !self.iter_live.contains_key(&iter) {
+                    self.completed_iters += 1;
+                }
+            } else {
+                debug_assert!(self.iter_live.is_empty());
+                debug_assert!(self.cont_stack.is_empty());
+                self.done = true;
+                return;
+            }
+        }
+    }
+}
+
+impl<A: PtrApp> Proc for CachingProc<A> {
+    type Msg = DpaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        self.drive(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, msg: DpaMsg) {
+        match msg {
+            DpaMsg::Request(ptrs) => {
+                self.reply_msgs +=
+                    crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs);
+            }
+            DpaMsg::Update(entries) => {
+                for (ptr, value) in entries {
+                    debug_assert!(ptr.is_local_to(ctx.me().0));
+                    ctx.charge_overhead(self.fill_ns);
+                    self.updates_applied += 1;
+                    self.app.apply_update(ptr, value);
+                }
+            }
+            DpaMsg::Reply(objs) => {
+                debug_assert_eq!(objs.len(), 1, "baseline fetches one object at a time");
+                let st = self.stalled.take().expect("reply while not stalled");
+                for &(ptr, size) in &objs {
+                    ctx.charge_overhead(self.fill_ns);
+                    self.cache.fill(ptr, size);
+                }
+                // Resume: the blocked work runs immediately (top of the
+                // stack) so the filled object is still cached when read.
+                self.stack.push(Tagged {
+                    iter: st.iter,
+                    work: st.work,
+                });
+                self.drive(ctx);
+            }
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        self.wake_scheduled = false;
+        self.drive(ctx);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.done
+    }
+
+    fn on_finish(&mut self, stats: &mut NodeStats) {
+        let cs = self.cache.stats();
+        stats.bump("iterations", self.completed_iters);
+        stats.bump("cache_probes", cs.probes);
+        stats.bump("cache_hits", cs.hits);
+        stats.bump("cache_misses", cs.misses);
+        stats.bump("cache_evictions", cs.evictions);
+        stats.bump("cache_peak_bytes", self.cache.peak_bytes());
+        stats.bump("request_msgs", self.request_msgs);
+        stats.bump("reply_msgs", self.reply_msgs);
+        stats.bump("update_msgs", self.update_msgs);
+        stats.bump("updates_applied", self.updates_applied);
+        stats.bump("stalls", self.stall_count);
+    }
+}

@@ -1,0 +1,403 @@
+//! The DPA node driver: strip-mined thread scheduling plus communication
+//! scheduling, as a [`sim_net::Proc`].
+//!
+//! Per node, the driver maintains the paper's two runtime structures —
+//! **M**, the pointer→dependent-threads mapping ([`PointerMap`]), and
+//! **D**, the outstanding-request table ([`PendingRequests`]) — plus the
+//! per-destination coalescing buffers of the communication scheduler.
+//!
+//! Scheduling template (the paper's Figure 14 shape):
+//!
+//! 1. **Admit** — keep at most `strip_size` top-level iterations live
+//!    (k-bounded loop); admitting an iteration runs its creation code,
+//!    which emits pointer-labeled dependent threads.
+//! 2. **Execute** — run ready threads depth-first. A demand on a local or
+//!    already-arrived object becomes immediately ready; a demand on a
+//!    missing remote object is aligned under its pointer in M, and the
+//!    first alignment enqueues a request in the coalescing buffer for the
+//!    owner node.
+//! 3. **Communicate** — with pipelining, full buffers are sent the moment
+//!    they fill and everything pending is drained at quiescence, so
+//!    transfers overlap the remaining local work; without pipelining
+//!    (the "Base" configuration) one batch is sent per quiescence and the
+//!    node waits for its reply — each round trip is exposed.
+//! 4. **Tile** — when a reply installs an object, *all* threads aligned
+//!    under it are released consecutively: threads using the same object
+//!    execute together, paying its fetch exactly once.
+//!
+//! Long drives are sliced at `poll_interval_ns` of simulated time so the
+//! node services incoming requests at realistic polling granularity (the
+//! paper notes poll placement was hand-tuned in their codes).
+
+use crate::config::{DpaConfig, Variant};
+use crate::mapping::PointerMap;
+use crate::msg::DpaMsg;
+use crate::pending::PendingRequests;
+use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
+use fastmsg::Coalescer;
+use global_heap::{ArrivalSet, GPtr};
+use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
+use std::collections::{HashMap, VecDeque};
+
+/// A DPA node: the application's per-node instance plus runtime state.
+pub struct DpaProc<A: PtrApp> {
+    app: A,
+    cfg: DpaConfig,
+    /// Ready non-blocking threads (depth-first stack).
+    stack: Vec<Tagged<A::Work>>,
+    /// M: pointer → aligned dependent threads.
+    map: PointerMap<Tagged<A::Work>>,
+    /// D: outstanding (buffered or in-flight) requests.
+    pending: PendingRequests,
+    /// Renamed storage: remote objects fetched so far this phase.
+    arrived: ArrivalSet,
+    /// Per-destination request batching.
+    coal: Coalescer<GPtr>,
+    /// Batches that filled while sending was deferred (no pipelining).
+    held: VecDeque<(u16, Vec<GPtr>)>,
+    /// Per-destination reduction batching (fire-and-forget, so sent when
+    /// full regardless of the pipelining flag).
+    upd_coal: Coalescer<(GPtr, f64)>,
+    /// Live work count per open iteration.
+    iter_live: HashMap<u32, u32>,
+    next_iter: usize,
+    total_iters: usize,
+    completed_iters: u64,
+    threads_created: u64,
+    peak_stack: u64,
+    /// Objects with requests currently in flight (sent, reply pending).
+    in_flight: usize,
+    peak_in_flight: u64,
+    request_msgs: u64,
+    reply_msgs: u64,
+    update_msgs: u64,
+    updates_emitted: u64,
+    updates_applied: u64,
+    wake_scheduled: bool,
+    done: bool,
+}
+
+impl<A: PtrApp> DpaProc<A> {
+    /// Wrap one node's application instance under `cfg`.
+    ///
+    /// `nodes` is the machine size (drives coalescer sizing). Panics if
+    /// `cfg.variant` is not [`Variant::Dpa`] or [`Variant::Sequential`] —
+    /// the baselines have their own driver.
+    pub fn new(app: A, nodes: usize, cfg: DpaConfig) -> DpaProc<A> {
+        assert!(
+            matches!(cfg.variant, Variant::Dpa | Variant::Sequential),
+            "DpaProc drives DPA/Sequential, got {:?}",
+            cfg.variant
+        );
+        assert!(cfg.strip_size >= 1, "strip size must be >= 1");
+        let total_iters = app.num_iterations();
+        // Without pipelining, batches are held rather than auto-sent, so
+        // the window can stay as configured; `held` captures overflow.
+        let coal = Coalescer::new(nodes, cfg.agg_window);
+        let upd_coal = Coalescer::new(nodes, cfg.agg_window);
+        DpaProc {
+            app,
+            cfg,
+            stack: Vec::new(),
+            map: PointerMap::new(),
+            pending: PendingRequests::new(),
+            arrived: ArrivalSet::new(),
+            coal,
+            held: VecDeque::new(),
+            upd_coal,
+            iter_live: HashMap::new(),
+            next_iter: 0,
+            total_iters,
+            completed_iters: 0,
+            threads_created: 0,
+            peak_stack: 0,
+            in_flight: 0,
+            peak_in_flight: 0,
+            request_msgs: 0,
+            reply_msgs: 0,
+            update_msgs: 0,
+            updates_emitted: 0,
+            updates_applied: 0,
+            wake_scheduled: false,
+            done: false,
+        }
+    }
+
+    /// The wrapped application (post-run inspection).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Completed top-level iterations.
+    pub fn completed_iterations(&self) -> u64 {
+        self.completed_iters
+    }
+
+    #[inline]
+    fn pressure(&self) -> u64 {
+        self.cfg.cost.pressure_extra_ns(self.map.live_threads())
+    }
+
+    /// Route the emissions of one finished work/creation, tagging them
+    /// with `iter`.
+    fn route_emissions(
+        &mut self,
+        ctx: &mut Ctx<'_, DpaMsg>,
+        iter: u32,
+        emits: Vec<Emit<A::Work>>,
+    ) {
+        let me = ctx.me().0;
+        // Reverse so that, popped from the stack, work runs in emission
+        // order (depth-first).
+        for e in emits.into_iter().rev() {
+            if let Emit::Accum(ptr, value) = e {
+                // Reductions are not threads: apply locally or batch for
+                // the owner; no alignment, no iteration accounting.
+                self.updates_emitted += 1;
+                if ptr.is_local_to(me) {
+                    ctx.charge_overhead(self.cfg.cost.owner_lookup_ns);
+                    self.updates_applied += 1;
+                    self.app.apply_update(ptr, value);
+                } else {
+                    ctx.charge_overhead(self.cfg.cost.request_entry_ns);
+                    if let Some(batch) = self.upd_coal.push(ptr.node(), (ptr, value)) {
+                        self.send_update(ctx, ptr.node(), batch);
+                    }
+                }
+                continue;
+            }
+            self.threads_created += 1;
+            *self.iter_live.entry(iter).or_insert(0) += 1;
+            ctx.charge_overhead(self.cfg.cost.thread_create_ns);
+            match e {
+                Emit::Local(work) => {
+                    self.stack.push(Tagged { iter, work });
+                }
+                Emit::Demand(ptr, work) => {
+                    if ptr.is_local_to(me) || self.arrived.contains(ptr) {
+                        // Data already here: immediately ready.
+                        self.stack.push(Tagged { iter, work });
+                    } else {
+                        ctx.charge_overhead(self.cfg.cost.map_update_ns + self.pressure());
+                        let first = self.map.align(ptr, Tagged { iter, work });
+                        if first && self.pending.insert(ptr) {
+                            ctx.charge_overhead(self.cfg.cost.request_entry_ns);
+                            if let Some(batch) = self.coal.push(ptr.node(), ptr) {
+                                if self.cfg.pipeline && self.can_send() {
+                                    self.send_request(ctx, ptr.node(), batch);
+                                } else {
+                                    self.held.push_back((ptr.node(), batch));
+                                }
+                            }
+                        }
+                    }
+                }
+                Emit::Accum(..) => unreachable!("handled above"),
+            }
+        }
+        self.peak_stack = self.peak_stack.max(self.stack.len() as u64);
+    }
+
+    fn send_update(&mut self, ctx: &mut Ctx<'_, DpaMsg>, dst: u16, batch: Vec<(GPtr, f64)>) {
+        debug_assert!(!batch.is_empty());
+        self.update_msgs += 1;
+        ctx.send(NodeId(dst), DpaMsg::Update(batch));
+    }
+
+    fn finish_one_work(&mut self, iter: u32) {
+        let live = self
+            .iter_live
+            .get_mut(&iter)
+            .expect("finished work for unknown iteration");
+        *live -= 1;
+        if *live == 0 {
+            self.iter_live.remove(&iter);
+            self.completed_iters += 1;
+        }
+    }
+
+    fn admit(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        while self.iter_live.len() < self.cfg.strip_size && self.next_iter < self.total_iters {
+            let iter = self.next_iter as u32;
+            self.next_iter += 1;
+            let mut env = WorkEnv::new(ctx.me().0, ctx.num_nodes(), Avail::Arrived(&self.arrived));
+            self.app.start_iteration(iter as usize, &mut env);
+            let (ns, emits) = env.finish();
+            ctx.charge_local(ns);
+            self.route_emissions(ctx, iter, emits);
+            // An iteration that spawned no threads (nothing, or only
+            // reductions) is already complete.
+            if !self.iter_live.contains_key(&iter) {
+                self.completed_iters += 1;
+            }
+        }
+    }
+
+    fn send_request(&mut self, ctx: &mut Ctx<'_, DpaMsg>, dst: u16, batch: Vec<GPtr>) {
+        debug_assert!(!batch.is_empty());
+        debug_assert!(dst != ctx.me().0, "self-requests must be routed locally");
+        self.in_flight += batch.len();
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight as u64);
+        self.request_msgs += 1;
+        ctx.send(NodeId(dst), DpaMsg::Request(batch));
+    }
+
+    /// Flow control: may another batch be sent right now? At least one
+    /// batch is always allowed when nothing is in flight.
+    #[inline]
+    fn can_send(&self) -> bool {
+        self.in_flight == 0 || self.in_flight < self.cfg.max_outstanding
+    }
+
+    /// Requester side: install arrived objects and release their aligned
+    /// threads (tiling: they will run consecutively).
+    fn install_reply(&mut self, ctx: &mut Ctx<'_, DpaMsg>, objs: Vec<(GPtr, u32)>) {
+        for (ptr, size) in objs {
+            self.in_flight = self.in_flight.saturating_sub(1);
+            ctx.charge_overhead(self.cfg.cost.reply_install_ns + self.pressure());
+            let fresh = self.arrived.insert(ptr, size);
+            debug_assert!(fresh, "object {ptr} delivered twice");
+            let was_pending = self.pending.complete(ptr);
+            debug_assert!(was_pending, "unsolicited reply for {ptr}");
+            let released = self.map.release(ptr);
+            self.stack.extend(released);
+        }
+        self.peak_stack = self.peak_stack.max(self.stack.len() as u64);
+    }
+
+    /// The scheduling loop: execute, admit, then schedule communication.
+    /// Slices itself every `poll_interval_ns` of simulated time.
+    fn drive(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        let slice_start = ctx.now();
+        let slice = Dur::from_ns(self.cfg.poll_interval_ns);
+        loop {
+            // Execute ready threads (and keep the admission window full).
+            while let Some(t) = self.stack.pop() {
+                ctx.charge_overhead(self.cfg.cost.resume_ns + self.pressure());
+                let mut env =
+                    WorkEnv::new(ctx.me().0, ctx.num_nodes(), Avail::Arrived(&self.arrived));
+                self.app.run_work(t.work, &mut env);
+                let (ns, emits) = env.finish();
+                ctx.charge_local(ns);
+                self.route_emissions(ctx, t.iter, emits);
+                self.finish_one_work(t.iter);
+                self.admit(ctx);
+                if ctx.now().since(slice_start) >= slice {
+                    // Yield to the event loop so incoming requests are
+                    // serviced at poll granularity; resume immediately.
+                    if !self.wake_scheduled {
+                        self.wake_scheduled = true;
+                        ctx.wake_after(Dur::ZERO);
+                    }
+                    return;
+                }
+            }
+            self.admit(ctx);
+            if !self.stack.is_empty() {
+                continue;
+            }
+
+            // Local quiescence: schedule communication. Reductions are
+            // fire-and-forget: always drained here.
+            let upd = self.upd_coal.drain_all();
+            for (dst, batch) in upd {
+                self.send_update(ctx, dst, batch);
+            }
+            if self.cfg.pipeline {
+                while self.can_send() {
+                    if let Some((dst, batch)) = self.held.pop_front() {
+                        self.send_request(ctx, dst, batch);
+                    } else if let Some(dst) = self.coal.first_nonempty() {
+                        let batch = self.coal.take(dst).expect("nonempty buffer");
+                        self.send_request(ctx, dst, batch);
+                    } else {
+                        break;
+                    }
+                }
+            } else if let Some((dst, batch)) = self.held.pop_front() {
+                self.send_request(ctx, dst, batch);
+            } else if let Some(dst) = self.coal.first_nonempty() {
+                if let Some(batch) = self.coal.take(dst) {
+                    self.send_request(ctx, dst, batch);
+                }
+            }
+
+            // Finished? (Nothing ready, nothing admitted, nothing owed.)
+            if self.next_iter == self.total_iters
+                && self.iter_live.is_empty()
+                && self.pending.is_empty()
+            {
+                debug_assert!(self.map.is_empty());
+                debug_assert!(self.coal.is_empty() && self.held.is_empty());
+                debug_assert!(self.upd_coal.is_empty());
+                self.done = true;
+            }
+            return;
+        }
+    }
+}
+
+impl<A: PtrApp> Proc for DpaProc<A> {
+    type Msg = DpaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        self.admit(ctx);
+        self.drive(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, msg: DpaMsg) {
+        match msg {
+            DpaMsg::Request(ptrs) => {
+                self.reply_msgs += crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs);
+            }
+            DpaMsg::Reply(objs) => {
+                self.install_reply(ctx, objs);
+                self.drive(ctx);
+            }
+            DpaMsg::Update(entries) => {
+                for (ptr, value) in entries {
+                    debug_assert!(ptr.is_local_to(ctx.me().0));
+                    ctx.charge_overhead(self.cfg.cost.owner_lookup_ns);
+                    self.updates_applied += 1;
+                    self.app.apply_update(ptr, value);
+                }
+            }
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        self.wake_scheduled = false;
+        self.drive(ctx);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.done
+    }
+
+    fn on_finish(&mut self, stats: &mut NodeStats) {
+        stats.bump("iterations", self.completed_iters);
+        stats.bump("threads_created", self.threads_created);
+        stats.bump("threads_aligned", self.map.total_aligned());
+        stats.bump("peak_aligned_threads", self.map.peak_threads());
+        stats.bump("peak_map_keys", self.map.peak_keys());
+        stats.bump("peak_pending_requests", self.pending.peak());
+        stats.bump("requests_issued", self.pending.total());
+        stats.bump("request_msgs", self.request_msgs);
+        stats.bump("reply_msgs", self.reply_msgs);
+        stats.bump("peak_ready_stack", self.peak_stack);
+        stats.bump("renamed_peak_bytes", self.arrived.peak_bytes());
+        stats.bump("remote_objects_fetched", self.arrived.total_inserts());
+        stats.bump(
+            "thread_state_peak_bytes",
+            self.map.peak_threads() * self.app.work_state_bytes() as u64,
+        );
+        stats.bump(
+            "agg_factor_milli",
+            (self.coal.aggregation_factor() * 1000.0) as u64,
+        );
+        stats.bump("peak_in_flight", self.peak_in_flight);
+        stats.bump("updates_emitted", self.updates_emitted);
+        stats.bump("updates_applied", self.updates_applied);
+        stats.bump("update_msgs", self.update_msgs);
+    }
+}

@@ -1,0 +1,242 @@
+//! The non-blocking thread abstraction shared by the DPA runtime and the
+//! baseline drivers.
+//!
+//! The compiler half of DPA decomposes a computation into *non-blocking
+//! threads*: units that run to completion without suspension, touching at
+//! most one potentially-remote object — the one they were created for.
+//! [`PtrApp`] is the runtime's view of such a decomposition: an application
+//! provides top-level loop iterations, each of which unfolds into work
+//! items; a work item may emit purely-local continuations and *demands*,
+//! i.e. new work items labeled with the global pointer they will read.
+//!
+//! The same decomposition runs under every execution variant (DPA,
+//! caching, blocking, sequential), which is what guarantees all variants
+//! compute identical results — only scheduling and communication differ.
+
+use global_heap::{ArrivalSet, GPtr, SoftCache};
+
+/// What a running work item emits for later execution.
+#[derive(Debug)]
+pub enum Emit<W> {
+    /// A continuation that touches no new potentially-remote object.
+    Local(W),
+    /// A dependent thread labeled with the pointer it will read. The
+    /// runtime routes it: run now if the object is local or already
+    /// arrived, otherwise align it under the pointer in M.
+    Demand(GPtr, W),
+    /// A remote reduction: fold `f64` into the object at `GPtr`
+    /// (commutative-associative). Local targets apply immediately; remote
+    /// targets are batched by the communication scheduler.
+    Accum(GPtr, f64),
+}
+
+/// Availability view used for the honesty check: which remote objects may
+/// be read right now.
+pub(crate) enum Avail<'a> {
+    /// Everything readable (used by logic-only tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    All,
+    /// DPA renamed storage.
+    Arrived(&'a ArrivalSet),
+    /// Caching baseline's cache contents.
+    Cached(&'a SoftCache),
+}
+
+/// Execution environment handed to [`PtrApp::run_work`] /
+/// [`PtrApp::start_iteration`].
+///
+/// The application charges its useful computation through
+/// [`WorkEnv::charge`] and emits follow-on work through
+/// [`WorkEnv::local`] / [`WorkEnv::demand`]. Reads of object payloads go
+/// straight to the application's own arenas (single host address space);
+/// [`WorkEnv::assert_readable`] enforces, in debug builds, that no object
+/// is read before the simulated machine has actually delivered it.
+pub struct WorkEnv<'a, W> {
+    node: u16,
+    nodes: u16,
+    charged_ns: u64,
+    emits: Vec<Emit<W>>,
+    avail: Avail<'a>,
+}
+
+impl<'a, W> WorkEnv<'a, W> {
+    pub(crate) fn new(node: u16, nodes: u16, avail: Avail<'a>) -> WorkEnv<'a, W> {
+        WorkEnv {
+            node,
+            nodes,
+            charged_ns: 0,
+            emits: Vec::new(),
+            avail,
+        }
+    }
+
+    /// The node this work runs on.
+    #[inline]
+    pub fn me(&self) -> u16 {
+        self.node
+    }
+
+    /// Number of nodes in the machine.
+    #[inline]
+    pub fn num_nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Charge `ns` of useful local computation.
+    #[inline]
+    pub fn charge(&mut self, ns: u64) {
+        self.charged_ns += ns;
+    }
+
+    /// Emit a purely-local continuation (no new remote object touched).
+    #[inline]
+    pub fn local(&mut self, w: W) {
+        self.emits.push(Emit::Local(w));
+    }
+
+    /// Emit a dependent thread labeled with the pointer it will read.
+    /// `ptr` may be local or remote; the runtime routes it.
+    #[inline]
+    pub fn demand(&mut self, ptr: GPtr, w: W) {
+        debug_assert!(!ptr.is_null(), "demand on null pointer");
+        self.emits.push(Emit::Demand(ptr, w));
+    }
+
+    /// Emit a remote reduction: fold `value` into the object at `ptr` via
+    /// [`PtrApp::apply_update`] on the owner. Reductions are
+    /// commutative-associative, so the runtime may batch and reorder them
+    /// freely; they are guaranteed applied by the end of the phase.
+    #[inline]
+    pub fn accumulate(&mut self, ptr: GPtr, value: f64) {
+        debug_assert!(!ptr.is_null(), "accumulate on null pointer");
+        self.emits.push(Emit::Accum(ptr, value));
+    }
+
+    /// `true` if `ptr`'s payload may be read right now on this node.
+    pub fn readable(&self, ptr: GPtr) -> bool {
+        if ptr.is_local_to(self.node) {
+            return true;
+        }
+        match &self.avail {
+            Avail::All => true,
+            Avail::Arrived(a) => a.contains(ptr),
+            Avail::Cached(c) => c.contains(ptr),
+        }
+    }
+
+    /// Debug-build honesty check: panic if `ptr` has not been delivered.
+    /// Release builds compile this to nothing.
+    #[inline]
+    pub fn assert_readable(&self, ptr: GPtr) {
+        debug_assert!(
+            self.readable(ptr),
+            "node {} read object {ptr} before it arrived",
+            self.node
+        );
+    }
+
+    pub(crate) fn finish(self) -> (u64, Vec<Emit<W>>) {
+        (self.charged_ns, self.emits)
+    }
+}
+
+/// An application decomposed into pointer-labeled non-blocking threads.
+///
+/// One instance exists per simulated node; shared read-only world state
+/// (the tree, the bodies) typically lives behind an `Arc` inside the
+/// implementor.
+pub trait PtrApp {
+    /// The state of one non-blocking thread.
+    type Work;
+
+    /// Length of this node's top-level concurrent loop (e.g. the number of
+    /// locally-owned bodies whose forces this node computes).
+    fn num_iterations(&self) -> usize;
+
+    /// Emit the initial work of iteration `iter`.
+    fn start_iteration(&mut self, iter: usize, env: &mut WorkEnv<'_, Self::Work>);
+
+    /// Run one non-blocking thread to completion.
+    fn run_work(&mut self, work: Self::Work, env: &mut WorkEnv<'_, Self::Work>);
+
+    /// Transfer size in bytes of the object `ptr` points to.
+    fn object_size(&self, ptr: GPtr) -> u32;
+
+    /// Approximate bytes of saved state per suspended thread (for the
+    /// memory column of the thread-statistics table).
+    fn work_state_bytes(&self) -> u32 {
+        std::mem::size_of::<Self::Work>() as u32 + 8
+    }
+
+    /// Apply a remote reduction to a locally-owned object (the owner-side
+    /// handler for [`WorkEnv::accumulate`]). Applications that never
+    /// accumulate need not implement it.
+    fn apply_update(&mut self, ptr: GPtr, value: f64) {
+        let _ = value;
+        panic!("application does not support remote updates (target {ptr})");
+    }
+}
+
+/// A work item tagged with the top-level iteration it belongs to, so the
+/// strip driver can track iteration completion.
+#[derive(Debug)]
+pub struct Tagged<W> {
+    /// Index of the owning top-level iteration.
+    pub iter: u32,
+    /// The work itself.
+    pub work: W,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use global_heap::ObjClass;
+
+    #[test]
+    fn env_collects_charges_and_emits() {
+        let mut env: WorkEnv<'_, u32> = WorkEnv::new(0, 4, Avail::All);
+        env.charge(100);
+        env.charge(20);
+        env.local(7);
+        env.demand(GPtr::new(1, ObjClass(0), 5), 8);
+        assert_eq!(env.me(), 0);
+        assert_eq!(env.num_nodes(), 4);
+        let (ns, emits) = env.finish();
+        assert_eq!(ns, 120);
+        assert_eq!(emits.len(), 2);
+        assert!(matches!(emits[0], Emit::Local(7)));
+        assert!(matches!(emits[1], Emit::Demand(_, 8)));
+    }
+
+    #[test]
+    fn readable_local_always() {
+        let env: WorkEnv<'_, u32> = WorkEnv::new(2, 4, Avail::All);
+        assert!(env.readable(GPtr::new(2, ObjClass(0), 1)));
+        assert!(env.readable(GPtr::new(3, ObjClass(0), 1)));
+    }
+
+    #[test]
+    fn readable_respects_arrival_set() {
+        let mut arr = ArrivalSet::new();
+        let remote = GPtr::new(1, ObjClass(0), 9);
+        {
+            let env: WorkEnv<'_, u32> = WorkEnv::new(0, 2, Avail::Arrived(&arr));
+            assert!(!env.readable(remote));
+        }
+        arr.insert(remote, 64);
+        let env: WorkEnv<'_, u32> = WorkEnv::new(0, 2, Avail::Arrived(&arr));
+        assert!(env.readable(remote));
+        // own objects always readable
+        assert!(env.readable(GPtr::new(0, ObjClass(0), 3)));
+    }
+
+    #[test]
+    fn readable_respects_cache() {
+        let mut cache = SoftCache::new(None);
+        let remote = GPtr::new(1, ObjClass(0), 9);
+        cache.fill(remote, 64);
+        let env: WorkEnv<'_, u32> = WorkEnv::new(0, 2, Avail::Cached(&cache));
+        assert!(env.readable(remote));
+        assert!(!env.readable(GPtr::new(1, ObjClass(0), 10)));
+    }
+}

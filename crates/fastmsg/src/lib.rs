@@ -1,0 +1,27 @@
+//! # fastmsg — Fast-Messages-style messaging layer
+//!
+//! The paper's implementation runs over Illinois Fast Messages (FM) on the
+//! Cray T3D: user-level active messages whose cost is dominated by software
+//! per-message overhead. This crate reproduces the pieces of that layer that
+//! DPA's *communication scheduling* needs:
+//!
+//! * [`agg::Coalescer`] — per-destination coalescing buffers that batch many
+//!   small requests into one packet (message **aggregation**);
+//! * [`packet`] — MTU segmentation for long replies (FM's streamed
+//!   messages), so bulk transfers pay per-packet overhead honestly;
+//! * [`router::Router`] — a tiny handler-dispatch table in the style of
+//!   `FM_send(dest, handler, args)` for dynamically-registered handlers.
+//!
+//! All of it is pure data-structure logic layered on `sim-net`'s cost
+//! model; nothing here performs real I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod packet;
+pub mod router;
+
+pub use agg::{Coalescer, FlushReason};
+pub use packet::{packets_for, segment_sizes, Mtu};
+pub use router::Router;

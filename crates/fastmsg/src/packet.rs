@@ -1,0 +1,94 @@
+//! MTU segmentation for long messages.
+//!
+//! FM distinguishes short messages (one packet) from streamed long
+//! messages, which travel as a train of MTU-sized packets. Each packet pays
+//! the per-packet overheads, so a bulk reply of `n` bytes costs
+//! `ceil(n/mtu)` packet overheads plus `n` bytes of gap. The DPA reply path
+//! uses these helpers to split aggregated object replies into honest wire
+//! units.
+
+/// Maximum transfer unit for a single simulated packet, in payload bytes.
+///
+/// The default (2 KiB) approximates FM's streamed-packet size on the T3D.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mtu(pub u32);
+
+impl Default for Mtu {
+    fn default() -> Self {
+        Mtu(2048)
+    }
+}
+
+impl Mtu {
+    /// Construct, rejecting a zero MTU.
+    pub fn new(bytes: u32) -> Mtu {
+        assert!(bytes > 0, "MTU must be positive");
+        Mtu(bytes)
+    }
+}
+
+/// Number of packets needed to carry `bytes` of payload under `mtu`.
+/// Zero bytes still requires one packet (the header carries meaning).
+pub fn packets_for(bytes: u32, mtu: Mtu) -> u32 {
+    if bytes == 0 {
+        1
+    } else {
+        bytes.div_ceil(mtu.0)
+    }
+}
+
+/// The individual packet payload sizes for a `bytes`-long message: all
+/// full-MTU packets plus a final remainder (or a single zero-length packet).
+pub fn segment_sizes(bytes: u32, mtu: Mtu) -> Vec<u32> {
+    let n = packets_for(bytes, mtu);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut left = bytes;
+    for _ in 0..n {
+        let take = left.min(mtu.0);
+        out.push(take);
+        left -= take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple() {
+        assert_eq!(packets_for(4096, Mtu(2048)), 2);
+        assert_eq!(segment_sizes(4096, Mtu(2048)), vec![2048, 2048]);
+    }
+
+    #[test]
+    fn remainder_packet() {
+        assert_eq!(packets_for(5000, Mtu(2048)), 3);
+        assert_eq!(segment_sizes(5000, Mtu(2048)), vec![2048, 2048, 904]);
+    }
+
+    #[test]
+    fn zero_bytes_is_one_packet() {
+        assert_eq!(packets_for(0, Mtu::default()), 1);
+        assert_eq!(segment_sizes(0, Mtu::default()), vec![0]);
+    }
+
+    #[test]
+    fn small_fits_in_one() {
+        assert_eq!(packets_for(8, Mtu::default()), 1);
+    }
+
+    #[test]
+    fn segments_sum_to_total() {
+        for bytes in [0u32, 1, 7, 2048, 2049, 10_000, 65_535] {
+            let sum: u32 = segment_sizes(bytes, Mtu(2048)).iter().sum();
+            assert_eq!(sum, bytes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU must be positive")]
+    fn zero_mtu_rejected() {
+        Mtu::new(0);
+    }
+}

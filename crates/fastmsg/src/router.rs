@@ -1,0 +1,121 @@
+//! Active-message handler dispatch, in the style of
+//! `FM_send(dest, handler, args)`.
+//!
+//! FM messages name the function that will consume them at the receiver.
+//! The statically-compiled layers of this workspace dispatch on plain
+//! Rust enums (faster and type-safe); this router is the FM-shaped
+//! dynamic alternative for embedders that register handlers at runtime.
+
+use std::fmt;
+
+/// A handler index into a [`Router`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HandlerId(pub u32);
+
+impl fmt::Display for HandlerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A boxed handler function.
+type Handler<S, A> = Box<dyn FnMut(&mut S, A)>;
+
+/// Dispatch table mapping [`HandlerId`]s to boxed handler functions over a
+/// shared state `S` and argument type `A`.
+pub struct Router<S, A> {
+    handlers: Vec<(String, Handler<S, A>)>,
+}
+
+impl<S, A> Default for Router<S, A> {
+    fn default() -> Self {
+        Router::new()
+    }
+}
+
+impl<S, A> Router<S, A> {
+    /// An empty table.
+    pub fn new() -> Router<S, A> {
+        Router {
+            handlers: Vec::new(),
+        }
+    }
+
+    /// Register `f` under `name`; returns its id. Names need not be unique
+    /// (ids are), but duplicate names make `lookup` return the first.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut S, A) + 'static,
+    ) -> HandlerId {
+        let id = HandlerId(self.handlers.len() as u32);
+        self.handlers.push((name.into(), Box::new(f)));
+        id
+    }
+
+    /// Find a handler id by name.
+    pub fn lookup(&self, name: &str) -> Option<HandlerId> {
+        self.handlers
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| HandlerId(i as u32))
+    }
+
+    /// Invoke handler `id` with `(state, args)`. Panics on a bad id — a bad
+    /// id is a bug in message construction, not a runtime condition.
+    pub fn dispatch(&mut self, id: HandlerId, state: &mut S, args: A) {
+        let (_, f) = &mut self.handlers[id.0 as usize];
+        f(state, args);
+    }
+
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// `true` when no handlers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+
+    /// The name a handler was registered under.
+    pub fn name(&self, id: HandlerId) -> &str {
+        &self.handlers[id.0 as usize].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_dispatch() {
+        let mut r: Router<Vec<u32>, u32> = Router::new();
+        let double = r.register("double", |s, a| s.push(a * 2));
+        let inc = r.register("inc", |s, a| s.push(a + 1));
+        let mut state = Vec::new();
+        r.dispatch(double, &mut state, 21);
+        r.dispatch(inc, &mut state, 9);
+        assert_eq!(state, vec![42, 10]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut r: Router<(), ()> = Router::new();
+        let a = r.register("a", |_, _| {});
+        let b = r.register("b", |_, _| {});
+        assert_eq!(r.lookup("a"), Some(a));
+        assert_eq!(r.lookup("b"), Some(b));
+        assert_eq!(r.lookup("c"), None);
+        assert_eq!(r.name(b), "b");
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_id_panics() {
+        let mut r: Router<(), ()> = Router::new();
+        r.dispatch(HandlerId(3), &mut (), ());
+    }
+}

@@ -1,0 +1,123 @@
+//! The per-node arrival set: which remote objects have been fetched so far
+//! in the current phase.
+//!
+//! DPA renames fetched objects into local storage so every thread that
+//! needs an object after its arrival finds it locally — this is the data
+//! half of "threads using the same objects execute together". The arrival
+//! set models that renamed storage: membership means "a local copy exists
+//! and may be read"; byte accounting tracks the memory DPA trades for
+//! latency tolerance.
+
+use crate::gptr::GPtr;
+use std::collections::HashSet;
+
+/// Tracks remote objects that have arrived at one node during a phase.
+#[derive(Clone, Debug, Default)]
+pub struct ArrivalSet {
+    set: HashSet<GPtr>,
+    bytes: u64,
+    peak_bytes: u64,
+    inserts: u64,
+}
+
+impl ArrivalSet {
+    /// An empty set.
+    pub fn new() -> ArrivalSet {
+        ArrivalSet::default()
+    }
+
+    /// Record the arrival of `ptr` carrying `size` payload bytes.
+    /// Returns `false` (and changes nothing) if it was already present —
+    /// which indicates a redundant fetch upstream.
+    pub fn insert(&mut self, ptr: GPtr, size: u32) -> bool {
+        debug_assert!(!ptr.is_null());
+        let fresh = self.set.insert(ptr);
+        if fresh {
+            self.inserts += 1;
+            self.bytes += size as u64;
+            self.peak_bytes = self.peak_bytes.max(self.bytes);
+        }
+        fresh
+    }
+
+    /// `true` if `ptr` has arrived (i.e. a local copy is readable).
+    #[inline]
+    pub fn contains(&self, ptr: GPtr) -> bool {
+        self.set.contains(&ptr)
+    }
+
+    /// Number of distinct objects currently held.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when nothing has arrived.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Bytes currently held in renamed storage.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// High-water mark of renamed storage over the phase, in bytes. The
+    /// paper's thread-statistics table reports this memory cost.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Total distinct arrivals over the phase (survives `clear`).
+    pub fn total_inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Drop all held objects (phase boundary), keeping lifetime counters.
+    pub fn clear(&mut self) {
+        self.set.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gptr::ObjClass;
+
+    fn p(i: u64) -> GPtr {
+        GPtr::new(1, ObjClass(0), i)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut a = ArrivalSet::new();
+        assert!(!a.contains(p(1)));
+        assert!(a.insert(p(1), 96));
+        assert!(a.contains(p(1)));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.bytes(), 96);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut a = ArrivalSet::new();
+        assert!(a.insert(p(1), 96));
+        assert!(!a.insert(p(1), 96));
+        assert_eq!(a.bytes(), 96);
+        assert_eq!(a.total_inserts(), 1);
+    }
+
+    #[test]
+    fn peak_survives_clear() {
+        let mut a = ArrivalSet::new();
+        a.insert(p(1), 100);
+        a.insert(p(2), 100);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.bytes(), 0);
+        assert_eq!(a.peak_bytes(), 200);
+        a.insert(p(3), 50);
+        assert_eq!(a.peak_bytes(), 200);
+        assert_eq!(a.total_inserts(), 3);
+    }
+}

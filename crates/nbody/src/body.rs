@@ -1,0 +1,90 @@
+//! Bodies (point masses) shared by both applications.
+
+use crate::vec3::Vec3;
+
+/// A point mass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: Vec3,
+    /// Velocity (carried for completeness; the timed phase computes
+    /// accelerations only, as the paper times the force phase).
+    pub vel: Vec3,
+    /// Mass (or charge, for the 2D FMM where `z` is ignored).
+    pub mass: f64,
+}
+
+impl Body {
+    /// A stationary body.
+    pub fn at(pos: Vec3, mass: f64) -> Body {
+        Body {
+            pos,
+            vel: Vec3::ZERO,
+            mass,
+        }
+    }
+}
+
+/// Gravitational acceleration exerted on a body at `pos` by a point mass
+/// `(src_pos, src_mass)` with Plummer softening `eps`.
+#[inline]
+pub fn point_accel(pos: Vec3, src_pos: Vec3, src_mass: f64, eps: f64) -> Vec3 {
+    let d = src_pos - pos;
+    let r2 = d.norm2() + eps * eps;
+    let r = r2.sqrt();
+    d * (src_mass / (r2 * r))
+}
+
+/// Total gravitational acceleration on `bodies[i]` by direct summation —
+/// the O(n²) oracle the tree codes are validated against.
+pub fn direct_accel(bodies: &[Body], i: usize, eps: f64) -> Vec3 {
+    let mut acc = Vec3::ZERO;
+    let pi = bodies[i].pos;
+    for (j, b) in bodies.iter().enumerate() {
+        if j != i {
+            acc += point_accel(pi, b.pos, b.mass, eps);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accel_points_toward_source() {
+        let a = point_accel(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 2.0, 0.0);
+        assert!(a.x > 0.0);
+        assert_eq!(a.y, 0.0);
+        // inverse square: m/r^2 = 2
+        assert!((a.x - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softening_bounds_close_encounters() {
+        let hard = point_accel(Vec3::ZERO, Vec3::new(1e-9, 0.0, 0.0), 1.0, 0.0);
+        let soft = point_accel(Vec3::ZERO, Vec3::new(1e-9, 0.0, 0.0), 1.0, 0.05);
+        assert!(hard.x > soft.x);
+        assert!(soft.x.is_finite());
+    }
+
+    #[test]
+    fn direct_sum_symmetry() {
+        // Two equal masses attract each other equally and oppositely.
+        let bodies = [
+            Body::at(Vec3::new(-1.0, 0.0, 0.0), 3.0),
+            Body::at(Vec3::new(1.0, 0.0, 0.0), 3.0),
+        ];
+        let a0 = direct_accel(&bodies, 0, 0.0);
+        let a1 = direct_accel(&bodies, 1, 0.0);
+        assert!((a0 + a1).norm() < 1e-12);
+        assert!(a0.x > 0.0 && a1.x < 0.0);
+    }
+
+    #[test]
+    fn self_interaction_excluded() {
+        let bodies = [Body::at(Vec3::ZERO, 5.0)];
+        assert_eq!(direct_accel(&bodies, 0, 0.0), Vec3::ZERO);
+    }
+}

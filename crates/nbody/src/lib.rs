@@ -1,0 +1,41 @@
+//! # nbody — hierarchical N-body substrate
+//!
+//! From-scratch implementations of the two SPLASH-2 applications whose
+//! force-computation phases the paper evaluates:
+//!
+//! * **Barnes-Hut** — octree construction ([`octree`]) and θ-criterion
+//!   tree-walk force evaluation ([`bh`]), 3D, Plummer inputs;
+//! * **FMM** — the 2D Greengard–Rokhlin fast multipole method, in both
+//!   the uniform form ([`fmm`]: multipole/local expansions, M2M/M2L/L2L,
+//!   interaction lists over a uniform quadtree ([`quadtree`])) and the
+//!   **adaptive** form SPLASH-2 implements ([`afmm`]: variable-depth
+//!   tree with the classic U/V/W/X lists).
+//!
+//! Everything here is sequential and simulator-free: it is the
+//! *algorithmic truth* that the distributed variants in the `apps` crate
+//! must reproduce bit-for-bit (they run the same arithmetic, scheduled
+//! differently), and the direct-summation oracles validate both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod afmm;
+pub mod bh;
+pub mod body;
+pub mod cx;
+pub mod distrib;
+pub mod fmm;
+pub mod integrate;
+pub mod morton;
+pub mod octree;
+pub mod quadtree;
+pub mod vec3;
+
+pub use afmm::{AfmmParams, AfmmSolver};
+pub use bh::{BhParams, WalkResult};
+pub use body::Body;
+pub use cx::Cx;
+pub use fmm::{FmmParams, FmmSolver, Local, Multipole};
+pub use octree::{Cell, Octree};
+pub use quadtree::{BoxId, QuadTree};
+pub use vec3::Vec3;

@@ -1,0 +1,121 @@
+//! Morton (Z-order) codes, used to partition bodies and tree cells across
+//! nodes with spatial locality (a simple stand-in for SPLASH-2's
+//! costzones/ORB partitioners).
+
+use crate::vec3::Vec3;
+
+/// Spread the low 21 bits of `v` so consecutive bits land 3 apart.
+#[inline]
+fn spread3(v: u64) -> u64 {
+    let mut x = v & 0x1F_FFFF; // 21 bits
+    x = (x | (x << 32)) & 0x1F00000000FFFF;
+    x = (x | (x << 16)) & 0x1F0000FF0000FF;
+    x = (x | (x << 8)) & 0x100F00F00F00F00F;
+    x = (x | (x << 4)) & 0x10C30C30C30C30C3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Spread the low 31 bits of `v` so consecutive bits land 2 apart.
+#[inline]
+fn spread2(v: u64) -> u64 {
+    let mut x = v & 0x7FFF_FFFF;
+    x = (x | (x << 16)) & 0x0000FFFF0000FFFF;
+    x = (x | (x << 8)) & 0x00FF00FF00FF00FF;
+    x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0F;
+    x = (x | (x << 2)) & 0x3333333333333333;
+    x = (x | (x << 1)) & 0x5555555555555555;
+    x
+}
+
+/// 63-bit 3D Morton code of a point inside the cube
+/// `[lo, lo + extent]^3`. Points outside are clamped.
+pub fn morton3(p: Vec3, lo: Vec3, extent: f64) -> u64 {
+    debug_assert!(extent > 0.0);
+    let scale = ((1u64 << 21) - 1) as f64;
+    let q = |v: f64, l: f64| (((v - l) / extent).clamp(0.0, 1.0) * scale) as u64;
+    (spread3(q(p.x, lo.x)) << 2) | (spread3(q(p.y, lo.y)) << 1) | spread3(q(p.z, lo.z))
+}
+
+/// 62-bit 2D Morton code of a point inside `[0,1]^2` (clamped).
+pub fn morton2(x: f64, y: f64) -> u64 {
+    let scale = ((1u64 << 31) - 1) as f64;
+    let q = |v: f64| ((v.clamp(0.0, 1.0)) * scale) as u64;
+    (spread2(q(x)) << 1) | spread2(q(y))
+}
+
+/// Split `n` items (already Morton-sorted) into `parts` contiguous chunks
+/// of near-equal size; returns the start index of each chunk plus a final
+/// `n` sentinel.
+pub fn even_splits(n: usize, parts: usize) -> Vec<usize> {
+    assert!(parts >= 1);
+    let mut out = Vec::with_capacity(parts + 1);
+    for i in 0..=parts {
+        out.push(i * n / parts);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton3_orders_octants() {
+        let lo = Vec3::new(0.0, 0.0, 0.0);
+        // The all-low octant precedes the all-high octant.
+        let a = morton3(Vec3::new(0.1, 0.1, 0.1), lo, 1.0);
+        let b = morton3(Vec3::new(0.9, 0.9, 0.9), lo, 1.0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn morton3_octant_blocks() {
+        // The top three interleaved bits are the octant: every point in
+        // the all-low octant sorts before every point in the all-high one.
+        let lo = Vec3::new(0.0, 0.0, 0.0);
+        let lows = [
+            Vec3::new(0.1, 0.2, 0.3),
+            Vec3::new(0.45, 0.45, 0.01),
+            Vec3::new(0.3, 0.05, 0.49),
+        ];
+        let highs = [
+            Vec3::new(0.6, 0.7, 0.8),
+            Vec3::new(0.51, 0.99, 0.55),
+            Vec3::new(0.9, 0.52, 0.61),
+        ];
+        for l in lows {
+            for h in highs {
+                assert!(morton3(l, lo, 1.0) < morton3(h, lo, 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn morton2_interleaves() {
+        assert_eq!(morton2(0.0, 0.0), 0);
+        assert!(morton2(0.3, 0.3) < morton2(0.8, 0.8));
+    }
+
+    #[test]
+    fn clamping_out_of_range() {
+        let lo = Vec3::new(0.0, 0.0, 0.0);
+        assert_eq!(
+            morton3(Vec3::new(-5.0, -5.0, -5.0), lo, 1.0),
+            morton3(Vec3::new(0.0, 0.0, 0.0), lo, 1.0)
+        );
+        assert_eq!(morton2(2.0, 2.0), morton2(1.0, 1.0));
+    }
+
+    #[test]
+    fn splits_cover_everything() {
+        let s = even_splits(103, 8);
+        assert_eq!(s.len(), 9);
+        assert_eq!(s[0], 0);
+        assert_eq!(s[8], 103);
+        for w in s.windows(2) {
+            assert!(w[0] <= w[1]);
+            assert!(w[1] - w[0] <= 14);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Octree construction for Barnes-Hut.
+//!
+//! Leaves hold up to `leaf_cap` bodies *inline* — mirroring the paper's
+//! note that its codes benefit from inline allocation of objects "to
+//! enlarge object granularity that amortizes object access overhead and
+//! simplifies communication of object state": a fetched leaf carries its
+//! bodies with it.
+
+use crate::body::Body;
+use crate::vec3::Vec3;
+
+/// Index of a cell within its [`Octree`].
+pub type CellId = u32;
+
+/// Sentinel for "no child".
+pub const NO_CELL: i32 = -1;
+
+/// A tree cell: cubic region, mass summary, and either children or inline
+/// bodies.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Geometric center of the cube.
+    pub center: Vec3,
+    /// Half the side length.
+    pub half: f64,
+    /// Total mass of the subtree.
+    pub mass: f64,
+    /// Center of mass of the subtree.
+    pub cm: Vec3,
+    /// Bodies in the subtree.
+    pub nbodies: u32,
+    /// Children cell ids (`NO_CELL` = empty octant); empty for leaves.
+    pub children: [i32; 8],
+    /// Body indices held inline (leaves only).
+    pub bodies: Vec<u32>,
+}
+
+impl Cell {
+    /// `true` when the cell holds bodies inline.
+    pub fn is_leaf(&self) -> bool {
+        self.children == [NO_CELL; 8]
+    }
+
+    /// Side length of the cube.
+    pub fn side(&self) -> f64 {
+        self.half * 2.0
+    }
+}
+
+/// An octree over a body set.
+#[derive(Clone, Debug)]
+pub struct Octree {
+    /// All cells; index 0 is the root.
+    pub cells: Vec<Cell>,
+    /// Maximum bodies per leaf.
+    pub leaf_cap: usize,
+    /// Lower corner of the root cube.
+    pub lo: Vec3,
+    /// Side length of the root cube.
+    pub extent: f64,
+}
+
+/// Hard recursion limit: coincident points cannot split forever.
+const MAX_DEPTH: u32 = 48;
+
+impl Octree {
+    /// Build an octree over `bodies` with at most `leaf_cap` bodies per
+    /// leaf. Panics on an empty body set.
+    pub fn build(bodies: &[Body], leaf_cap: usize) -> Octree {
+        assert!(!bodies.is_empty(), "cannot build a tree over no bodies");
+        assert!(leaf_cap >= 1);
+        let mut lo = bodies[0].pos;
+        let mut hi = bodies[0].pos;
+        for b in bodies {
+            lo = lo.min(b.pos);
+            hi = hi.max(b.pos);
+        }
+        // Slightly inflate so boundary points are strictly inside.
+        let extent = ((hi - lo).max_component()).max(1e-12) * (1.0 + 1e-9);
+        let center = lo + Vec3::new(extent, extent, extent) * 0.5;
+
+        let mut tree = Octree {
+            cells: Vec::new(),
+            leaf_cap,
+            lo,
+            extent,
+        };
+        let all: Vec<u32> = (0..bodies.len() as u32).collect();
+        tree.subdivide(bodies, all, center, extent * 0.5, 0);
+        tree
+    }
+
+    /// Recursively build the cell for `idxs`; returns its id.
+    fn subdivide(
+        &mut self,
+        bodies: &[Body],
+        idxs: Vec<u32>,
+        center: Vec3,
+        half: f64,
+        depth: u32,
+    ) -> CellId {
+        let id = self.cells.len() as CellId;
+        let nbodies = idxs.len() as u32;
+        let mut mass = 0.0;
+        let mut weighted = Vec3::ZERO;
+        for &i in &idxs {
+            mass += bodies[i as usize].mass;
+            weighted += bodies[i as usize].pos * bodies[i as usize].mass;
+        }
+        let cm = if mass > 0.0 { weighted / mass } else { center };
+
+        self.cells.push(Cell {
+            center,
+            half,
+            mass,
+            cm,
+            nbodies,
+            children: [NO_CELL; 8],
+            bodies: Vec::new(),
+        });
+
+        if idxs.len() <= self.leaf_cap || depth >= MAX_DEPTH {
+            self.cells[id as usize].bodies = idxs;
+            return id;
+        }
+
+        // Partition bodies into octants.
+        let mut oct: [Vec<u32>; 8] = Default::default();
+        for &i in &idxs {
+            let p = bodies[i as usize].pos;
+            let o = ((p.x >= center.x) as usize) << 2
+                | ((p.y >= center.y) as usize) << 1
+                | (p.z >= center.z) as usize;
+            oct[o].push(i);
+        }
+        let qh = half * 0.5;
+        for (o, sub) in oct.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let off = Vec3::new(
+                if o & 4 != 0 { qh } else { -qh },
+                if o & 2 != 0 { qh } else { -qh },
+                if o & 1 != 0 { qh } else { -qh },
+            );
+            let child = self.subdivide(bodies, sub, center + off, qh, depth + 1);
+            self.cells[id as usize].children[o] = child as i32;
+        }
+        id
+    }
+
+    /// The root cell id.
+    pub fn root(&self) -> CellId {
+        0
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the tree has no cells (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterator over `(cell_id, &cell)`.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells.iter().enumerate().map(|(i, c)| (i as u32, c))
+    }
+
+    /// Check structural invariants; used by tests and debug assertions.
+    /// Returns the total number of bodies found in leaves.
+    pub fn check_invariants(&self, bodies: &[Body]) -> usize {
+        let mut seen = vec![false; bodies.len()];
+        let mut count = 0usize;
+        for (id, cell) in self.iter() {
+            if cell.is_leaf() {
+                assert!(
+                    cell.bodies.len() == cell.nbodies as usize,
+                    "leaf {id} body count mismatch"
+                );
+                for &b in &cell.bodies {
+                    assert!(!seen[b as usize], "body {b} appears in two leaves");
+                    seen[b as usize] = true;
+                    count += 1;
+                    let p = bodies[b as usize].pos;
+                    let d = p - cell.center;
+                    let slack = cell.half * (1.0 + 1e-6) + 1e-12;
+                    assert!(
+                        d.x.abs() <= slack && d.y.abs() <= slack && d.z.abs() <= slack,
+                        "body {b} outside leaf {id}"
+                    );
+                }
+            } else {
+                assert!(cell.bodies.is_empty(), "internal cell {id} holds bodies");
+                let child_sum: u32 = cell
+                    .children
+                    .iter()
+                    .filter(|&&c| c != NO_CELL)
+                    .map(|&c| self.cells[c as usize].nbodies)
+                    .sum();
+                assert_eq!(child_sum, cell.nbodies, "cell {id} count mismatch");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some body missing from the tree");
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distrib::{plummer, uniform_cube};
+
+    #[test]
+    fn build_contains_all_bodies_once() {
+        let bodies = uniform_cube(1000, 11);
+        let t = Octree::build(&bodies, 8);
+        assert_eq!(t.check_invariants(&bodies), 1000);
+        assert_eq!(t.cells[0].nbodies, 1000);
+    }
+
+    #[test]
+    fn plummer_tree_is_deep() {
+        let bodies = plummer(2000, 5);
+        let t = Octree::build(&bodies, 4);
+        assert!(t.len() > 100, "clustered input must subdivide");
+        t.check_invariants(&bodies);
+    }
+
+    #[test]
+    fn root_mass_is_total() {
+        let bodies = uniform_cube(512, 3);
+        let t = Octree::build(&bodies, 8);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        assert!((t.cells[0].mass - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_cm_matches_direct() {
+        let bodies = uniform_cube(256, 9);
+        let t = Octree::build(&bodies, 8);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        let mut cm = Vec3::ZERO;
+        for b in &bodies {
+            cm += b.pos * b.mass;
+        }
+        cm = cm / total;
+        assert!((t.cells[0].cm - cm).norm() < 1e-9);
+    }
+
+    #[test]
+    fn single_body_is_one_leaf() {
+        let bodies = vec![Body::at(Vec3::new(0.5, 0.5, 0.5), 2.0)];
+        let t = Octree::build(&bodies, 8);
+        assert_eq!(t.len(), 1);
+        assert!(t.cells[0].is_leaf());
+        assert_eq!(t.cells[0].mass, 2.0);
+    }
+
+    #[test]
+    fn coincident_bodies_terminate() {
+        let bodies = vec![Body::at(Vec3::new(0.1, 0.2, 0.3), 1.0); 20];
+        let t = Octree::build(&bodies, 2);
+        // MAX_DEPTH guard forces a leaf despite leaf_cap overflow.
+        assert_eq!(t.check_invariants(&bodies), 20);
+    }
+
+    #[test]
+    fn leaf_cap_respected_for_distinct_points() {
+        let bodies = uniform_cube(400, 21);
+        let t = Octree::build(&bodies, 4);
+        for (_, c) in t.iter() {
+            if c.is_leaf() {
+                assert!(c.bodies.len() <= 4);
+            }
+        }
+    }
+}

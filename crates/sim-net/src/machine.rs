@@ -1,0 +1,568 @@
+//! The discrete-event machine: P nodes, an ordered event queue, and the
+//! conservative sequential simulation loop.
+//!
+//! Each node runs a user-supplied [`Proc`] behavior. Handlers are
+//! *non-blocking*: they run to completion, charging simulated CPU time via
+//! [`Ctx::charge`] and emitting messages via [`Ctx::send`]. The machine owns
+//! the clock of every node; when a node's next event lies in its future the
+//! gap is accounted as idle time. Two runs with identical inputs produce
+//! identical event orders (ties broken by sequence number), so all reported
+//! times are exactly reproducible.
+
+use crate::network::{MsgSize, NetConfig};
+use crate::stats::{ChargeKind, NodeStats, RunStats};
+use crate::time::{Dur, Time};
+use crate::trace::Trace;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of a simulated node (0-based, dense).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Behavior of one simulated node.
+///
+/// All handlers receive a [`Ctx`] for charging time and sending messages.
+/// Handlers must not block; long-running work is expressed by charging its
+/// cost and, if it must wait for data, by recording a continuation and
+/// returning (the DPA runtime in `dpa-core` is exactly such a continuation
+/// store).
+pub trait Proc {
+    /// Message type exchanged between nodes.
+    type Msg: MsgSize;
+
+    /// Called once at time zero, before any messages flow.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `src` is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, src: NodeId, msg: Self::Msg);
+
+    /// Called when a timer scheduled with [`Ctx::wake_after`] fires.
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// `true` when the node has no internal pending work. The run is
+    /// `completed` only if every node is quiescent when the event queue
+    /// drains; otherwise the report flags a stall (e.g. a dropped reply).
+    fn quiescent(&self) -> bool {
+        true
+    }
+
+    /// Called once after the run, to flush app-level counters into stats.
+    fn on_finish(&mut self, stats: &mut NodeStats) {
+        let _ = stats;
+    }
+}
+
+enum EventKind<M> {
+    Deliver { src: NodeId, msg: M },
+    Wake,
+}
+
+struct Event<M> {
+    time: Time,
+    seq: u64,
+    dst: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> Event<M> {
+    fn key(&self) -> Reverse<(u64, u64)> {
+        Reverse((self.time.0, self.seq))
+    }
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+struct PendingSend<M> {
+    dst: NodeId,
+    at: Time,
+    src: NodeId,
+    /// `None` marks a wake timer; `Some` a message delivery.
+    msg: Option<M>,
+}
+
+/// Per-handler execution context: the node's clock, stats, and outbox.
+pub struct Ctx<'a, M> {
+    id: NodeId,
+    clock: &'a mut Time,
+    stats: &'a mut NodeStats,
+    net: &'a NetConfig,
+    out: &'a mut Vec<PendingSend<M>>,
+    trace: &'a mut Option<Trace>,
+    nodes: u16,
+}
+
+impl<'a, M: MsgSize> Ctx<'a, M> {
+    /// The node this handler is running on.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of nodes in the machine.
+    #[inline]
+    pub fn num_nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Current simulated time at this node.
+    #[inline]
+    pub fn now(&self) -> Time {
+        *self.clock
+    }
+
+    /// The network cost model in effect.
+    #[inline]
+    pub fn net(&self) -> &NetConfig {
+        self.net
+    }
+
+    /// Advance this node's clock by `d`, accounting it to `kind`.
+    #[inline]
+    pub fn charge(&mut self, kind: ChargeKind, d: Dur) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(self.id.0, self.clock.as_ns(), d.as_ns(), kind);
+        }
+        *self.clock += d;
+        self.stats.charge(kind, d);
+    }
+
+    /// Convenience: charge local (useful) computation in ns.
+    #[inline]
+    pub fn charge_local(&mut self, ns: u64) {
+        self.charge(ChargeKind::Local, Dur::from_ns(ns));
+    }
+
+    /// Convenience: charge communication overhead in ns.
+    #[inline]
+    pub fn charge_overhead(&mut self, ns: u64) {
+        self.charge(ChargeKind::Overhead, Dur::from_ns(ns));
+    }
+
+    /// Bump an app-level counter on this node's stats.
+    #[inline]
+    pub fn bump(&mut self, name: &'static str, by: u64) {
+        self.stats.bump(name, by);
+    }
+
+    /// Send `msg` to `dst`. Charges the sender's per-message busy time as
+    /// overhead and schedules delivery after the wire transit. A send to
+    /// self skips the wire but still pays software overheads (loopback),
+    /// matching FM semantics.
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        let bytes = msg.size_bytes();
+        let busy = self.net.send_busy(bytes);
+        self.charge(ChargeKind::Overhead, busy);
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+        let at = *self.clock + self.net.transit(dst == self.id);
+        self.out.push(PendingSend {
+            dst,
+            at,
+            src: self.id,
+            msg: Some(msg),
+        });
+    }
+
+    /// Schedule a [`Proc::on_wake`] callback `d` from now.
+    pub fn wake_after(&mut self, d: Dur) {
+        let at = *self.clock + d;
+        self.out.push(PendingSend {
+            dst: self.id,
+            at,
+            src: self.id,
+            msg: None,
+        });
+    }
+}
+
+/// Result of a complete machine run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-node time/traffic accounting (idle already extended to the
+    /// global makespan, i.e. barrier semantics).
+    pub stats: RunStats,
+    /// `true` iff every node reported quiescent when the queue drained.
+    /// `false` indicates a stall, e.g. a reply lost to fault injection.
+    pub completed: bool,
+}
+
+impl RunReport {
+    /// The phase execution time the paper reports (global makespan).
+    pub fn makespan(&self) -> Time {
+        self.stats.makespan
+    }
+}
+
+/// A P-node discrete-event machine running `P::Msg` traffic over `net`.
+pub struct Machine<P: Proc> {
+    procs: Vec<P>,
+    net: NetConfig,
+    clocks: Vec<Time>,
+    stats: Vec<NodeStats>,
+    queue: BinaryHeap<Event<P::Msg>>,
+    next_seq: u64,
+    drop_counter: u64,
+    dropped: u64,
+    trace: Option<Trace>,
+    /// Hard cap on processed events; exceeded => panic (runaway guard).
+    pub max_events: u64,
+}
+
+impl<P: Proc> Machine<P> {
+    /// Build a machine from one `Proc` per node.
+    pub fn new(procs: Vec<P>, net: NetConfig) -> Machine<P> {
+        let n = procs.len();
+        assert!(n > 0 && n <= u16::MAX as usize, "node count {n}");
+        Machine {
+            procs,
+            net,
+            clocks: vec![Time::ZERO; n],
+            stats: vec![NodeStats::default(); n],
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            drop_counter: 0,
+            dropped: 0,
+            trace: None,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Record per-node busy spans during the run (see [`crate::trace`]).
+    /// `capacity` bounds the span count; adjacent charges coalesce.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Take the recorded trace after [`Machine::run`].
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Immutable access to a node's behavior (for post-run inspection).
+    pub fn proc(&self, id: NodeId) -> &P {
+        &self.procs[id.index()]
+    }
+
+    fn flush_outbox(&mut self, out: &mut Vec<PendingSend<P::Msg>>) {
+        for p in out.drain(..) {
+            // Fault injection: drop every k-th *network* message.
+            if p.msg.is_some() {
+                if let Some(k) = self.net.drop_every {
+                    self.drop_counter += 1;
+                    if self.drop_counter.is_multiple_of(k) {
+                        self.dropped += 1;
+                        continue;
+                    }
+                }
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.queue.push(Event {
+                time: p.at,
+                seq,
+                dst: p.dst,
+                kind: match p.msg {
+                    Some(m) => EventKind::Deliver { src: p.src, msg: m },
+                    None => EventKind::Wake,
+                },
+            });
+        }
+    }
+
+    /// Run to completion: start every node, then drain the event queue.
+    /// Consumes the machine's event state; may be called once.
+    pub fn run(&mut self) -> RunReport {
+        let n = self.procs.len();
+        let mut out: Vec<PendingSend<P::Msg>> = Vec::new();
+
+        for i in 0..n {
+            let mut ctx = Ctx {
+                id: NodeId(i as u16),
+                clock: &mut self.clocks[i],
+                stats: &mut self.stats[i],
+                net: &self.net,
+                out: &mut out,
+                trace: &mut self.trace,
+                nodes: n as u16,
+            };
+            self.procs[i].on_start(&mut ctx);
+            self.flush_outbox(&mut out);
+        }
+
+        let mut events_processed: u64 = 0;
+        while let Some(ev) = self.queue.pop() {
+            events_processed += 1;
+            assert!(
+                events_processed <= self.max_events,
+                "event budget exceeded ({events_processed}); likely livelock"
+            );
+            let i = ev.dst.index();
+            // Waiting for this event is idle time for the destination node.
+            if ev.time > self.clocks[i] {
+                let gap = ev.time - self.clocks[i];
+                self.stats[i].idle += gap;
+                self.clocks[i] = ev.time;
+            }
+            let mut ctx = Ctx {
+                id: ev.dst,
+                clock: &mut self.clocks[i],
+                stats: &mut self.stats[i],
+                net: &self.net,
+                out: &mut out,
+                trace: &mut self.trace,
+                nodes: n as u16,
+            };
+            match ev.kind {
+                EventKind::Deliver { src, msg } => {
+                    let bytes = msg.size_bytes();
+                    ctx.stats.msgs_recv += 1;
+                    ctx.stats.bytes_recv += bytes as u64;
+                    let busy = ctx.net.recv_busy(bytes);
+                    ctx.charge(ChargeKind::Overhead, busy);
+                    self.procs[i].on_message(&mut ctx, src, msg);
+                }
+                EventKind::Wake => self.procs[i].on_wake(&mut ctx),
+            }
+            self.flush_outbox(&mut out);
+        }
+
+        let completed = self.procs.iter().all(|p| p.quiescent());
+        let makespan = self.clocks.iter().copied().max().unwrap_or(Time::ZERO);
+
+        // Barrier semantics: every node waits for the slowest one, so
+        // trailing time up to the makespan is idle.
+        for i in 0..n {
+            if makespan > self.clocks[i] {
+                self.stats[i].idle += makespan - self.clocks[i];
+                self.clocks[i] = makespan;
+            }
+            self.procs[i].on_finish(&mut self.stats[i]);
+        }
+
+        RunReport {
+            stats: RunStats {
+                nodes: std::mem::take(&mut self.stats),
+                makespan,
+                dropped_packets: self.dropped,
+            },
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial ping-pong proc: node 0 sends `k` pings to node 1, which
+    /// echoes each one back.
+    struct PingPong {
+        to_send: u32,
+        received: u32,
+        expect: u32,
+    }
+
+    impl Proc for PingPong {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            for i in 0..self.to_send {
+                ctx.send(NodeId(1), i as u64);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, src: NodeId, msg: u64) {
+            self.received += 1;
+            if ctx.me() == NodeId(1) {
+                ctx.send(src, msg + 1000);
+            }
+        }
+
+        fn quiescent(&self) -> bool {
+            self.received == self.expect
+        }
+    }
+
+    fn pingpong_machine(k: u32, net: NetConfig) -> Machine<PingPong> {
+        Machine::new(
+            vec![
+                PingPong {
+                    to_send: k,
+                    received: 0,
+                    expect: k,
+                },
+                PingPong {
+                    to_send: 0,
+                    received: 0,
+                    expect: k,
+                },
+            ],
+            net,
+        )
+    }
+
+    #[test]
+    fn pingpong_completes() {
+        let mut m = pingpong_machine(5, NetConfig::default());
+        let r = m.run();
+        assert!(r.completed);
+        assert_eq!(r.stats.total_msgs(), 10);
+        assert!(r.makespan().as_ns() > 0);
+    }
+
+    #[test]
+    fn deterministic_makespan() {
+        let a = pingpong_machine(7, NetConfig::default()).run();
+        let b = pingpong_machine(7, NetConfig::default()).run();
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.stats.nodes[0].idle, b.stats.nodes[0].idle);
+    }
+
+    #[test]
+    fn idle_accounted_while_waiting() {
+        let mut m = pingpong_machine(1, NetConfig::default());
+        let r = m.run();
+        // Node 0 sends, then idles until the echo returns.
+        assert!(r.stats.nodes[0].idle.as_ns() > 0);
+    }
+
+    #[test]
+    fn barrier_extends_idle_to_makespan() {
+        let mut m = pingpong_machine(3, NetConfig::default());
+        let r = m.run();
+        for s in &r.stats.nodes {
+            assert_eq!(s.total(), r.makespan() - Time::ZERO + Dur::ZERO);
+        }
+    }
+
+    #[test]
+    fn fault_injection_drops_and_flags() {
+        let net = NetConfig {
+            drop_every: Some(2),
+            ..NetConfig::default()
+        };
+        let mut m = pingpong_machine(4, net);
+        let r = m.run();
+        assert!(!r.completed, "dropped replies must flag a stall");
+        assert!(r.stats.dropped_packets > 0);
+    }
+
+    #[test]
+    fn free_network_zero_overhead() {
+        let mut m = pingpong_machine(2, NetConfig::free());
+        let r = m.run();
+        assert!(r.completed);
+        assert_eq!(r.stats.nodes[0].overhead.as_ns(), 0);
+        assert_eq!(r.makespan().as_ns(), 0);
+    }
+
+    /// Timer wakes fire in order and count as idle while waiting.
+    struct Sleeper {
+        fired: Vec<u64>,
+    }
+
+    impl Proc for Sleeper {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.wake_after(Dur::from_us(10));
+            ctx.wake_after(Dur::from_us(5));
+        }
+
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _src: NodeId, _msg: ()) {}
+
+        fn on_wake(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.fired.push(ctx.now().as_ns());
+        }
+    }
+
+    #[test]
+    fn wakes_fire_in_time_order() {
+        let mut m = Machine::new(vec![Sleeper { fired: vec![] }], NetConfig::default());
+        let r = m.run();
+        assert!(r.completed);
+        assert_eq!(m.proc(NodeId(0)).fired, vec![5_000, 10_000]);
+        assert_eq!(r.stats.nodes[0].idle.as_ns(), 10_000);
+    }
+
+    #[test]
+    fn trace_spans_account_all_busy_time() {
+        let mut m = pingpong_machine(4, NetConfig::default());
+        m.enable_tracing(1 << 16);
+        let r = m.run();
+        let trace = m.take_trace().expect("tracing enabled");
+        assert_eq!(trace.dropped, 0);
+        for (i, ns) in r.stats.nodes.iter().enumerate() {
+            let busy = ns.local.as_ns() + ns.overhead.as_ns();
+            assert_eq!(trace.busy_ns(i as u16), busy, "node {i}");
+        }
+        // Spans are per-node time-ordered and non-overlapping.
+        for n in 0..2u16 {
+            let mut end = 0;
+            for s in trace.spans().iter().filter(|s| s.node == n) {
+                assert!(s.start_ns >= end, "overlap on node {n}");
+                end = s.start_ns + s.dur_ns;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn runaway_guard_trips() {
+        /// Echoes forever between two nodes.
+        struct Echo;
+        impl Proc for Echo {
+            type Msg = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.send(NodeId(1), 0);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, src: NodeId, msg: u64) {
+                ctx.send(src, msg + 1);
+            }
+        }
+        let mut m = Machine::new(vec![Echo, Echo], NetConfig::default());
+        m.max_events = 100;
+        m.run();
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-node time and traffic accounting.
+//!
+//! The paper's breakdown figures split total execution time into *local
+//! computation*, *communication overhead*, and *idle time*; those three
+//! buckets are first-class here and every charge made through
+//! [`crate::machine::Ctx`] lands in exactly one of them.
+
+use crate::time::{Dur, Time};
+use std::collections::BTreeMap;
+
+/// Which bucket a CPU charge belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChargeKind {
+    /// Useful application work (force interactions, tree walk decisions...).
+    Local,
+    /// Communication software overhead (send/receive handlers, cache
+    /// hashing, runtime bookkeeping attributable to communication).
+    Overhead,
+}
+
+/// Accumulated statistics for a single simulated node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Time spent in useful local computation.
+    pub local: Dur,
+    /// Time spent in communication/runtime overhead.
+    pub overhead: Dur,
+    /// Time spent idle, waiting for messages (includes trailing idle up to
+    /// the global finish time once the run is finalized).
+    pub idle: Dur,
+    /// Messages sent by this node.
+    pub msgs_sent: u64,
+    /// Payload bytes sent by this node.
+    pub bytes_sent: u64,
+    /// Messages received by this node.
+    pub msgs_recv: u64,
+    /// Payload bytes received by this node.
+    pub bytes_recv: u64,
+    /// Application-defined counters, flushed in `Proc::on_finish`.
+    pub user: BTreeMap<&'static str, u64>,
+}
+
+impl NodeStats {
+    /// Total accounted busy+idle time.
+    pub fn total(&self) -> Dur {
+        self.local + self.overhead + self.idle
+    }
+
+    /// Record a CPU charge.
+    #[inline]
+    pub fn charge(&mut self, kind: ChargeKind, d: Dur) {
+        match kind {
+            ChargeKind::Local => self.local += d,
+            ChargeKind::Overhead => self.overhead += d,
+        }
+    }
+
+    /// Bump (or create) a user counter.
+    #[inline]
+    pub fn bump(&mut self, name: &'static str, by: u64) {
+        *self.user.entry(name).or_insert(0) += by;
+    }
+
+    /// Fraction of total time that was idle (0 if nothing recorded).
+    pub fn idle_fraction(&self) -> f64 {
+        let t = self.total().as_ns();
+        if t == 0 {
+            0.0
+        } else {
+            self.idle.as_ns() as f64 / t as f64
+        }
+    }
+}
+
+/// Aggregate view over every node in a run; produced by
+/// [`crate::machine::Machine::run`].
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// One entry per node.
+    pub nodes: Vec<NodeStats>,
+    /// Global finish time (the makespan the paper reports as execution
+    /// time of the phase).
+    pub makespan: Time,
+    /// Packets dropped by fault injection.
+    pub dropped_packets: u64,
+}
+
+impl RunStats {
+    /// Sum of a per-node extractor across all nodes.
+    pub fn sum<F: Fn(&NodeStats) -> u64>(&self, f: F) -> u64 {
+        self.nodes.iter().map(f).sum()
+    }
+
+    /// Mean local / overhead / idle durations across nodes, in ns.
+    pub fn mean_breakdown(&self) -> (f64, f64, f64) {
+        let n = self.nodes.len().max(1) as f64;
+        let l = self.sum(|s| s.local.as_ns()) as f64 / n;
+        let o = self.sum(|s| s.overhead.as_ns()) as f64 / n;
+        let i = self.sum(|s| s.idle.as_ns()) as f64 / n;
+        (l, o, i)
+    }
+
+    /// Total messages sent in the run.
+    pub fn total_msgs(&self) -> u64 {
+        self.sum(|s| s.msgs_sent)
+    }
+
+    /// Total payload bytes sent in the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.sum(|s| s.bytes_sent)
+    }
+
+    /// Sum of a user counter across nodes (0 when absent everywhere).
+    pub fn user_total(&self, name: &str) -> u64 {
+        self.nodes
+            .iter()
+            .map(|s| s.user.get(name).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// Max of a user counter across nodes (0 when absent everywhere).
+    pub fn user_max(&self, name: &str) -> u64 {
+        self.nodes
+            .iter()
+            .map(|s| s.user.get(name).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_buckets() {
+        let mut s = NodeStats::default();
+        s.charge(ChargeKind::Local, Dur::from_ns(10));
+        s.charge(ChargeKind::Overhead, Dur::from_ns(5));
+        s.idle += Dur::from_ns(85);
+        assert_eq!(s.total().as_ns(), 100);
+        assert!((s.idle_fraction() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_counters() {
+        let mut s = NodeStats::default();
+        s.bump("probes", 3);
+        s.bump("probes", 4);
+        assert_eq!(s.user["probes"], 7);
+    }
+
+    #[test]
+    fn run_aggregation() {
+        let mut a = NodeStats {
+            msgs_sent: 3,
+            ..NodeStats::default()
+        };
+        a.bump("x", 1);
+        let mut b = NodeStats {
+            msgs_sent: 5,
+            ..NodeStats::default()
+        };
+        b.bump("x", 9);
+        let run = RunStats {
+            nodes: vec![a, b],
+            makespan: Time(100),
+            dropped_packets: 0,
+        };
+        assert_eq!(run.total_msgs(), 8);
+        assert_eq!(run.user_total("x"), 10);
+        assert_eq!(run.user_max("x"), 9);
+        assert_eq!(run.user_total("absent"), 0);
+    }
+
+    #[test]
+    fn idle_fraction_empty_is_zero() {
+        assert_eq!(NodeStats::default().idle_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Simulated time, measured in integer nanoseconds.
+//!
+//! All scheduling decisions in the simulator are made in terms of [`Time`]
+//! (an absolute instant) and [`Dur`] (a span). Using integers keeps the
+//! simulation exactly deterministic across runs and platforms: two runs with
+//! the same seed and configuration produce bit-identical event orders.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulated instant, in nanoseconds since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// Nanoseconds since the start of the run.
+    #[inline]
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    #[inline]
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// A zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct a span from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Construct a span from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Construct a span from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// The span in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// The span in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scale the span by an integer factor, saturating on overflow.
+    #[inline]
+    pub fn scaled(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, d: Dur) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_add(other.0))
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, other: Dur) {
+        self.0 = self.0.saturating_add(other.0);
+    }
+}
+
+impl Sub for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, other: Time) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&Time(self.0), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_since() {
+        let t = Time::ZERO + Dur::from_us(3);
+        assert_eq!(t.as_ns(), 3_000);
+        assert_eq!(t.since(Time(1_000)).as_ns(), 2_000);
+        // saturating: "since a future instant" is zero, not underflow
+        assert_eq!(Time(5).since(Time(10)).as_ns(), 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time(1) < Time(2));
+        assert_eq!(Time(7).max(Time(3)), Time(7));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Time(500)), "500ns");
+        assert_eq!(format!("{}", Time(1_500)), "1.500us");
+        assert_eq!(format!("{}", Time(2_500_000)), "2.500ms");
+        assert_eq!(format!("{}", Time(3_000_000_000)), "3.000s");
+    }
+
+    #[test]
+    fn dur_scaling_saturates() {
+        assert_eq!(Dur(10).scaled(3).as_ns(), 30);
+        assert_eq!(Dur(u64::MAX).scaled(2).as_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn sub_time_saturates() {
+        assert_eq!((Time(10) - Time(4)).as_ns(), 6);
+        assert_eq!((Time(4) - Time(10)).as_ns(), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Cross-crate property-based tests (proptest): the invariants that make
+//! the reproduction trustworthy, exercised over randomized inputs.
+
+use dpa::compiler::{compile_source, IccApp, IccWorldBuilder, Value};
+use dpa::global_heap::{GPtr, ObjClass};
+use dpa::nbody::afmm::{AfmmParams, AfmmSolver};
+use dpa::nbody::cx::Cx;
+use dpa::nbody::body::direct_accel;
+use dpa::nbody::distrib::uniform_cube;
+use dpa::nbody::octree::Octree;
+use dpa::runtime::synth::{SynthApp, SynthParams, SynthWorld};
+use dpa::runtime::{run_phase, DpaConfig};
+use dpa::sim_net::NetConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every execution variant computes the same checksums on random
+    /// worlds — the core "scheduling never changes semantics" guarantee.
+    #[test]
+    fn variants_agree_on_random_worlds(
+        seed in any::<u64>(),
+        nodes in 1u16..6,
+        lists in 1usize..12,
+        len in 1usize..24,
+        remote in 0.0f64..0.9,
+        shared in 0.0f64..0.9,
+        strip in 1usize..20,
+    ) {
+        let world = SynthWorld::build(SynthParams {
+            nodes,
+            lists_per_node: lists,
+            list_len: len,
+            remote_fraction: remote,
+            shared_fraction: shared,
+            record_bytes: 32,
+            work_ns: 200,
+            seed,
+        });
+        let expected: Vec<u64> = (0..nodes).map(|n| world.expected_sum(n)).collect();
+        for cfg in [DpaConfig::dpa(strip), DpaConfig::caching(), DpaConfig::blocking()] {
+            let mut sums = vec![0u64; nodes as usize];
+            run_phase(
+                nodes,
+                NetConfig::default(),
+                cfg,
+                |i| SynthApp::new(world.clone(), i, 200),
+                |i, app| sums[i as usize] = app.sum,
+            );
+            prop_assert_eq!(&sums, &expected);
+        }
+    }
+
+    /// The strip size never changes results, only schedules.
+    #[test]
+    fn strip_size_is_semantics_preserving(
+        seed in any::<u64>(),
+        strip_a in 1usize..8,
+        strip_b in 8usize..200,
+    ) {
+        let world = SynthWorld::build(SynthParams {
+            nodes: 4,
+            lists_per_node: 10,
+            list_len: 12,
+            remote_fraction: 0.5,
+            shared_fraction: 0.5,
+            record_bytes: 32,
+            work_ns: 100,
+            seed,
+        });
+        let run = |strip: usize| {
+            let mut sums = vec![0u64; 4];
+            run_phase(
+                4,
+                NetConfig::default(),
+                DpaConfig::dpa(strip),
+                |i| SynthApp::new(world.clone(), i, 100),
+                |i, app| sums[i as usize] = app.sum,
+            );
+            sums
+        };
+        prop_assert_eq!(run(strip_a), run(strip_b));
+    }
+
+    /// Identical inputs produce identical simulated times (determinism).
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>()) {
+        let world = SynthWorld::build(SynthParams {
+            nodes: 3,
+            lists_per_node: 6,
+            list_len: 10,
+            remote_fraction: 0.4,
+            shared_fraction: 0.3,
+            record_bytes: 32,
+            work_ns: 300,
+            seed,
+        });
+        let t = |_: ()| {
+            run_phase(
+                3,
+                NetConfig::default(),
+                DpaConfig::dpa(4),
+                |i| SynthApp::new(world.clone(), i, 300),
+                |_, _| {},
+            )
+            .makespan()
+        };
+        prop_assert_eq!(t(()), t(()));
+    }
+
+    /// Global pointers round-trip through their packed representation.
+    #[test]
+    fn gptr_roundtrip(node in 0u16..u16::MAX, class in 0u8..255, idx in 0u64..(1u64 << 39)) {
+        let p = GPtr::new(node, ObjClass(class), idx);
+        prop_assert_eq!(p.node(), node);
+        prop_assert_eq!(p.class(), ObjClass(class));
+        prop_assert_eq!(p.index(), idx);
+        prop_assert_eq!(GPtr::from_bits(p.bits()), p);
+        prop_assert!(!p.is_null());
+    }
+
+    /// Compiled Mini-ICC tree sums match a host oracle on random tree
+    /// shapes, owner scatters, and strip sizes — the whole pipeline
+    /// (parse → partition → interpret → schedule → simulate) as one
+    /// property.
+    #[test]
+    fn compiled_tree_sum_matches_oracle(
+        seed in any::<u64>(),
+        depth in 1u32..6,
+        nodes in 1u16..5,
+        strip in 1usize..12,
+    ) {
+        let prog = compile_source(
+            "struct T { l: T*; r: T*; v: int; }
+             fn sum(t: T*) -> int {
+               if (t == null) { return 0; }
+               let a: int = 0;
+               let b: int = 0;
+               conc { a = sum(t->l); b = sum(t->r); }
+               return a + b + t->v;
+             }",
+        ).unwrap();
+        let mut b = IccWorldBuilder::new(prog, "sum", nodes);
+        let mut rng = dpa::sim_net::Rng::new(seed);
+        fn build(
+            b: &mut IccWorldBuilder,
+            rng: &mut dpa::sim_net::Rng,
+            nodes: u16,
+            depth: u32,
+        ) -> (Value, i64) {
+            if depth == 0 || rng.chance(0.2) {
+                return (Value::Ptr(GPtr::NULL), 0);
+            }
+            let (l, ls) = build(b, rng, nodes, depth - 1);
+            let (r, rs) = build(b, rng, nodes, depth - 1);
+            let v = rng.below(1000) as i64;
+            let owner = rng.below(nodes as u64) as u16;
+            let p = b.alloc(owner, "T", vec![l, r, Value::Int(v)]);
+            (Value::Ptr(p), ls + rs + v)
+        }
+        let mut expected = 0i64;
+        for node in 0..nodes {
+            let (root, sum) = build(&mut b, &mut rng, nodes, depth);
+            if let Value::Ptr(p) = root {
+                if p.is_null() {
+                    continue;
+                }
+            }
+            b.add_root(node, vec![root]);
+            expected += sum;
+        }
+        let world = b.build();
+        let mut total = 0i64;
+        run_phase(
+            nodes,
+            NetConfig::default(),
+            DpaConfig::dpa(strip),
+            |i| IccApp::new(world.clone(), i),
+            |_, app: &IccApp| total += app.int_sum,
+        );
+        prop_assert_eq!(total, expected);
+    }
+
+    /// The adaptive FMM matches direct summation on random inputs.
+    #[test]
+    fn adaptive_fmm_matches_direct(seed in any::<u64>(), n in 30usize..150) {
+        let mut rng = dpa::sim_net::Rng::new(seed);
+        let zs: Vec<Cx> = (0..n)
+            .map(|_| Cx::new(
+                0.001 + 0.998 * rng.unit_f64(),
+                0.001 + 0.998 * rng.unit_f64(),
+            ))
+            .collect();
+        let qs: Vec<f64> = (0..n).map(|_| 0.1 + rng.unit_f64()).collect();
+        let mut s = AfmmSolver::new(zs, qs, AfmmParams {
+            terms: 16,
+            leaf_cap: 6,
+            max_level: 10,
+        });
+        s.downward();
+        let got = s.evaluate();
+        let exact = s.direct();
+        for (a, b) in got.iter().zip(&exact) {
+            let err = (*a - *b).abs() / b.abs().max(1e-9);
+            prop_assert!(err < 1e-6, "err {}", err);
+        }
+    }
+
+    /// Octrees contain every body exactly once and match direct gravity
+    /// at θ = 0.
+    #[test]
+    fn octree_invariants_random_bodies(n in 2usize..120, seed in any::<u64>()) {
+        let bodies = uniform_cube(n, seed);
+        let tree = Octree::build(&bodies, 4);
+        prop_assert_eq!(tree.check_invariants(&bodies), n);
+        // θ = 0 walk equals direct summation.
+        let params = dpa::nbody::bh::BhParams { theta: 0.0, eps: 0.02 };
+        let w = dpa::nbody::bh::walk(&tree, &bodies, 0, params);
+        let d = direct_accel(&bodies, 0, 0.02);
+        prop_assert!((w.acc - d).norm() <= 1e-9 * d.norm().max(1e-9));
+    }
+}
