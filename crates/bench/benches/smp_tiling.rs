@@ -4,7 +4,7 @@
 //! applicable to cache optimizations" (cf. Philbin et al.): running the
 //! threads that touch the same object consecutively turns scattered
 //! accesses into cache-resident ones. This bench demonstrates that effect
-//! with *real* parallel threads (crossbeam scoped threads): a task soup
+//! with *real* parallel threads (std scoped threads): a task soup
 //! over a large object array is executed in scattered order vs
 //! pointer-aligned (tiled) order. The tiled schedule is the memory-access
 //! pattern DPA's runtime produces when it releases all threads aligned
@@ -47,11 +47,11 @@ fn run_tasks(world: &[Obj], tasks: &[(u32, u64)]) -> u64 {
     // Static partition across real threads; each runs its slice in order.
     let chunk = tasks.len().div_ceil(THREADS);
     let mut total = 0u64;
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = tasks
             .chunks(chunk)
             .map(|slice| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut acc = 0u64;
                     for &(obj, salt) in slice {
                         let o = &world[obj as usize];
@@ -68,8 +68,7 @@ fn run_tasks(world: &[Obj], tasks: &[(u32, u64)]) -> u64 {
         for h in handles {
             total = total.wrapping_add(h.join().unwrap());
         }
-    })
-    .unwrap();
+    });
     total
 }
 

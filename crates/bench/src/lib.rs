@@ -27,7 +27,6 @@ use nbody::bh::BhParams;
 use nbody::cx::Cx;
 use nbody::distrib::{plummer, uniform_square};
 use nbody::fmm::FmmParams;
-use serde::Serialize;
 use sim_net::{NetConfig, RunStats};
 use std::sync::Arc;
 
@@ -93,7 +92,7 @@ pub fn paper_net() -> NetConfig {
 }
 
 /// One experiment data point, dumped as JSON for EXPERIMENTS.md.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExpPoint {
     /// Experiment id (e.g. "table1").
     pub experiment: String,
@@ -146,15 +145,73 @@ impl ExpPoint {
     }
 }
 
+/// Minimal JSON emission (no external dependency in this offline build).
+pub mod json {
+    /// Escape a string for inclusion in a JSON document (adds quotes).
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Format an `f64` as a JSON number (non-finite values become `null`).
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+}
+
+impl ExpPoint {
+    /// Render this point as a JSON object.
+    pub fn to_json(&self) -> String {
+        let extra: Vec<String> = self
+            .extra
+            .iter()
+            .map(|(k, v)| format!("[{}, {}]", json::string(k), json::number(*v)))
+            .collect();
+        format!(
+            "{{\"experiment\": {}, \"app\": {}, \"config\": {}, \"nodes\": {}, \
+             \"seconds\": {}, \"breakdown\": [{}, {}, {}], \"msgs\": {}, \"bytes\": {}, \
+             \"extra\": [{}]}}",
+            json::string(&self.experiment),
+            json::string(&self.app),
+            json::string(&self.config),
+            self.nodes,
+            json::number(self.seconds),
+            json::number(self.breakdown.0),
+            json::number(self.breakdown.1),
+            json::number(self.breakdown.2),
+            self.msgs,
+            self.bytes,
+            extra.join(", "),
+        )
+    }
+}
+
 /// Write experiment points as pretty JSON under `results/`.
 pub fn dump_json(name: &str, points: &[ExpPoint]) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
-        if let Ok(s) = serde_json::to_string_pretty(points) {
-            let _ = std::fs::write(&path, s);
-            eprintln!("[wrote {}]", path.display());
-        }
+        let rows: Vec<String> = points.iter().map(|p| format!("  {}", p.to_json())).collect();
+        let s = format!("[\n{}\n]\n", rows.join(",\n"));
+        let _ = std::fs::write(&path, s);
+        eprintln!("[wrote {}]", path.display());
     }
 }
 
@@ -224,5 +281,18 @@ mod tests {
         let p = ExpPoint::new("t", "bh", "DPA", 4, 1_500_000_000, &stats).with("x", 2.0);
         assert_eq!(p.seconds, 1.5);
         assert_eq!(p.extra[0].1, 2.0);
+    }
+
+    #[test]
+    fn exp_point_json_is_well_formed() {
+        let stats = RunStats::default();
+        let p = ExpPoint::new("t\"1", "bh", "DPA", 4, 1_500_000_000, &stats).with("x", 2.0);
+        let j = p.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"experiment\": \"t\\\"1\""));
+        assert!(j.contains("\"seconds\": 1.5"));
+        assert!(j.contains("[\"x\", 2]"));
+        assert_eq!(json::number(f64::NAN), "null");
+        assert_eq!(json::string("a\nb"), "\"a\\nb\"");
     }
 }

@@ -2,10 +2,11 @@
 //! hand back both the timing report and the per-node application state.
 
 use crate::config::{DpaConfig, Variant};
+use crate::invariant::NodeSnapshot;
 use crate::proc_caching::CachingProc;
 use crate::proc_dpa::DpaProc;
 use crate::work::PtrApp;
-use sim_net::{Machine, NetConfig, NodeId, RunReport, Trace};
+use sim_net::{FaultPlan, Machine, NetConfig, NodeId, RunReport, Trace};
 
 /// Run one phase of `app` instances (one per node) under `cfg` on a
 /// `nodes`-node machine with network `net`.
@@ -66,6 +67,73 @@ pub fn run_phase_traced<A: PtrApp>(
                 collect(i, m.proc(NodeId(i)).app());
             }
             (report, m.take_trace().expect("tracing enabled"))
+        }
+    }
+}
+
+/// Knobs for a deterministic-simulation-testing run.
+#[derive(Clone, Debug, Default)]
+pub struct DstOptions {
+    /// When `Some`, perturb event ordering with this seed: equal-timestamp
+    /// events are permuted and (if `net.jitter_ns > 0`) remote deliveries
+    /// get seeded extra delay. `None` runs the canonical schedule.
+    pub schedule_seed: Option<u64>,
+    /// Fault plan applied to every send (see [`sim_net::fault`]).
+    pub faults: FaultPlan,
+}
+
+/// Like [`run_phase_faulty`] but under DST control: applies `opts`' fault
+/// plan and schedule perturbation, and returns per-node runtime-state
+/// snapshots for the invariant checker alongside the report. Never panics
+/// on a stall — the report's `stalls` carry the diagnosis instead.
+pub fn run_phase_dst<A: PtrApp>(
+    nodes: u16,
+    net: NetConfig,
+    cfg: DpaConfig,
+    opts: &DstOptions,
+    mut mk: impl FnMut(u16) -> A,
+    mut collect: impl FnMut(u16, &A),
+) -> (RunReport, Vec<NodeSnapshot>) {
+    assert!(nodes >= 1);
+    if matches!(cfg.variant, Variant::Sequential) {
+        assert_eq!(nodes, 1, "the sequential reference runs on one node");
+    }
+    match cfg.variant {
+        Variant::Dpa | Variant::Sequential => {
+            let procs: Vec<_> = (0..nodes)
+                .map(|i| DpaProc::new(mk(i), nodes as usize, cfg.clone()))
+                .collect();
+            let mut m = Machine::new(procs, net);
+            m.set_faults(opts.faults.clone());
+            if let Some(seed) = opts.schedule_seed {
+                m.perturb_schedule(seed);
+            }
+            let report = m.run();
+            let mut snaps = Vec::with_capacity(nodes as usize);
+            for i in 0..nodes {
+                let p = m.proc(NodeId(i));
+                snaps.push(p.snapshot(i));
+                collect(i, p.app());
+            }
+            (report, snaps)
+        }
+        Variant::Caching | Variant::Blocking => {
+            let procs: Vec<_> = (0..nodes)
+                .map(|i| CachingProc::new(mk(i), cfg.clone()))
+                .collect();
+            let mut m = Machine::new(procs, net);
+            m.set_faults(opts.faults.clone());
+            if let Some(seed) = opts.schedule_seed {
+                m.perturb_schedule(seed);
+            }
+            let report = m.run();
+            let mut snaps = Vec::with_capacity(nodes as usize);
+            for i in 0..nodes {
+                let p = m.proc(NodeId(i));
+                snaps.push(p.snapshot(i));
+                collect(i, p.app());
+            }
+            (report, snaps)
         }
     }
 }

@@ -1,0 +1,359 @@
+//! Runtime-state invariants checked by the DST harness.
+//!
+//! The DPA runtime's correctness argument rests on a handful of conservation
+//! laws over its two tables — **M** (pointer → aligned threads) and **D**
+//! (outstanding requests) — and its coalescing buffers:
+//!
+//! * at phase end M and D are empty and every buffer is drained;
+//! * every entry pushed into a coalescer is either sent or still buffered
+//!   (nothing silently vanishes inside the runtime);
+//! * every distinct request issued is either installed or still outstanding
+//!   (replies are deduplicated, so duplicated delivery cannot over-install);
+//! * reduction entries are applied **at most once** machine-wide — exactly
+//!   once when the network loses nothing.
+//!
+//! Each node driver exports a [`NodeSnapshot`] after a run;
+//! [`check_completed`] and [`check_conservation`] turn a set of snapshots
+//! into a (hopefully empty) list of [`Violation`]s. The laws hold across
+//! *every* schedule and fault plan, which is what makes them useful DST
+//! oracles: a scheduling bug shows up as a leak long before it corrupts an
+//! application result.
+
+use std::fmt;
+
+/// Post-run runtime state of one node, in entry counts.
+///
+/// Produced by `DpaProc::snapshot` / `CachingProc::snapshot`; consumed by
+/// the checkers below. All counters are cumulative over the phase except
+/// the `*_buffered`, `pending_*` and `map_*` fields, which are the state
+/// left at the instant the run stopped.
+#[derive(Clone, Debug, Default)]
+pub struct NodeSnapshot {
+    /// Which node this snapshot describes.
+    pub node: u16,
+    /// Keys still present in M (0 after a completed phase).
+    pub map_keys: usize,
+    /// Threads still aligned under some key in M.
+    pub map_threads: u64,
+    /// Entries still present in D.
+    pub pending_requests: usize,
+    /// Up to a few of the stuck pointers, rendered for diagnostics.
+    pub pending_sample: Vec<String>,
+    /// Replies owed: request entries sent whose reply has not installed.
+    pub in_flight: usize,
+    /// Distinct requests ever issued (D inserts).
+    pub requests_issued: u64,
+    /// Remote objects installed by fresh (non-duplicate) replies.
+    pub objects_installed: u64,
+    /// Request entries pushed into the coalescer.
+    pub req_pushed: u64,
+    /// Request entries actually sent on the wire.
+    pub req_sent: u64,
+    /// Request entries still buffered (coalescer plus held batches).
+    pub req_buffered: usize,
+    /// Reduction entries emitted by the application on this node.
+    pub updates_emitted: u64,
+    /// Reduction entries applied on this node (local and received).
+    pub updates_applied: u64,
+    /// Reduction entries sent on the wire.
+    pub upd_sent: u64,
+    /// Reduction entries still buffered for sending.
+    pub upd_buffered: usize,
+}
+
+/// One violated invariant, with enough context to act on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// M still holds aligned threads after the phase ended.
+    MapNotEmpty {
+        /// Offending node.
+        node: u16,
+        /// Keys left in M.
+        keys: usize,
+        /// Threads still aligned.
+        threads: u64,
+    },
+    /// D still holds outstanding requests after the phase ended.
+    PendingNotDrained {
+        /// Offending node.
+        node: u16,
+        /// Entries left in D.
+        count: usize,
+        /// A sample of the stuck pointers.
+        sample: Vec<String>,
+    },
+    /// A coalescing buffer still holds entries after the phase ended.
+    BufferNotDrained {
+        /// Offending node.
+        node: u16,
+        /// Request entries left buffered.
+        req: usize,
+        /// Reduction entries left buffered.
+        upd: usize,
+    },
+    /// Request entries pushed ≠ sent + buffered: the communication
+    /// scheduler lost or invented entries.
+    RequestLeak {
+        /// Offending node.
+        node: u16,
+        /// Entries pushed into the coalescer.
+        pushed: u64,
+        /// Entries sent on the wire.
+        sent: u64,
+        /// Entries still buffered.
+        buffered: usize,
+    },
+    /// Requests issued ≠ objects installed + still outstanding: a reply
+    /// was double-installed or an install happened unsolicited.
+    ReplyLeak {
+        /// Offending node.
+        node: u16,
+        /// Distinct requests issued.
+        issued: u64,
+        /// Objects installed.
+        installed: u64,
+        /// Requests still outstanding.
+        outstanding: usize,
+    },
+    /// Machine-wide reduction conservation failed on a lossless run:
+    /// entries applied ≠ entries emitted (+ still buffered).
+    UpdateLeak {
+        /// Entries emitted across all nodes.
+        emitted: u64,
+        /// Entries applied across all nodes.
+        applied: u64,
+        /// Entries still buffered across all nodes.
+        buffered: u64,
+    },
+    /// More reduction entries applied than emitted: a duplicated update
+    /// was folded in twice. This is a violation on *any* run, lossy or
+    /// not — dedup must make application at-most-once.
+    UpdateOverApplied {
+        /// Entries emitted across all nodes.
+        emitted: u64,
+        /// Entries applied across all nodes.
+        applied: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MapNotEmpty {
+                node,
+                keys,
+                threads,
+            } => write!(
+                f,
+                "n{node}: M not empty at phase end ({keys} keys, {threads} aligned threads)"
+            ),
+            Violation::PendingNotDrained {
+                node,
+                count,
+                sample,
+            } => write!(
+                f,
+                "n{node}: D not drained at phase end ({count} outstanding; e.g. {})",
+                sample.join(", ")
+            ),
+            Violation::BufferNotDrained { node, req, upd } => write!(
+                f,
+                "n{node}: coalescer not drained at phase end ({req} request, {upd} update entries)"
+            ),
+            Violation::RequestLeak {
+                node,
+                pushed,
+                sent,
+                buffered,
+            } => write!(
+                f,
+                "n{node}: request conservation broken: pushed {pushed} != sent {sent} + buffered {buffered}"
+            ),
+            Violation::ReplyLeak {
+                node,
+                issued,
+                installed,
+                outstanding,
+            } => write!(
+                f,
+                "n{node}: reply conservation broken: issued {issued} != installed {installed} + outstanding {outstanding}"
+            ),
+            Violation::UpdateLeak {
+                emitted,
+                applied,
+                buffered,
+            } => write!(
+                f,
+                "updates leaked: emitted {emitted} != applied {applied} + buffered {buffered} (lossless run)"
+            ),
+            Violation::UpdateOverApplied { emitted, applied } => write!(
+                f,
+                "updates over-applied: {applied} applied > {emitted} emitted (duplicate folded twice)"
+            ),
+        }
+    }
+}
+
+/// Conservation laws that hold on **any** run, completed or stalled, lossy
+/// or not. A violation here is a runtime bug regardless of fault plan.
+pub fn check_conservation(snaps: &[NodeSnapshot]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for s in snaps {
+        if s.req_pushed != s.req_sent + s.req_buffered as u64 {
+            out.push(Violation::RequestLeak {
+                node: s.node,
+                pushed: s.req_pushed,
+                sent: s.req_sent,
+                buffered: s.req_buffered,
+            });
+        }
+        if s.requests_issued != s.objects_installed + s.pending_requests as u64 {
+            out.push(Violation::ReplyLeak {
+                node: s.node,
+                issued: s.requests_issued,
+                installed: s.objects_installed,
+                outstanding: s.pending_requests,
+            });
+        }
+    }
+    let emitted: u64 = snaps.iter().map(|s| s.updates_emitted).sum();
+    let applied: u64 = snaps.iter().map(|s| s.updates_applied).sum();
+    if applied > emitted {
+        out.push(Violation::UpdateOverApplied { emitted, applied });
+    }
+    out
+}
+
+/// Full end-of-phase check for a run that reported `completed`.
+///
+/// `lossy` says whether the fault plan could have dropped packets: on a
+/// completed lossy run only fire-and-forget updates can have been lost
+/// (a lost request or reply necessarily stalls the phase), so update
+/// conservation relaxes to at-most-once; everything else must still hold
+/// exactly.
+pub fn check_completed(snaps: &[NodeSnapshot], lossy: bool) -> Vec<Violation> {
+    let mut out = check_conservation(snaps);
+    for s in snaps {
+        if s.map_keys > 0 || s.map_threads > 0 {
+            out.push(Violation::MapNotEmpty {
+                node: s.node,
+                keys: s.map_keys,
+                threads: s.map_threads,
+            });
+        }
+        if s.pending_requests > 0 {
+            out.push(Violation::PendingNotDrained {
+                node: s.node,
+                count: s.pending_requests,
+                sample: s.pending_sample.clone(),
+            });
+        }
+        if s.req_buffered > 0 || s.upd_buffered > 0 {
+            out.push(Violation::BufferNotDrained {
+                node: s.node,
+                req: s.req_buffered,
+                upd: s.upd_buffered,
+            });
+        }
+    }
+    if !lossy {
+        let emitted: u64 = snaps.iter().map(|s| s.updates_emitted).sum();
+        let applied: u64 = snaps.iter().map(|s| s.updates_applied).sum();
+        let buffered: u64 = snaps.iter().map(|s| s.upd_buffered as u64).sum();
+        if applied + buffered != emitted {
+            out.push(Violation::UpdateLeak {
+                emitted,
+                applied,
+                buffered,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(node: u16) -> NodeSnapshot {
+        NodeSnapshot {
+            node,
+            requests_issued: 10,
+            objects_installed: 10,
+            req_pushed: 10,
+            req_sent: 10,
+            updates_emitted: 4,
+            updates_applied: 4,
+            upd_sent: 2,
+            ..NodeSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let snaps = vec![clean(0), clean(1)];
+        assert!(check_completed(&snaps, false).is_empty());
+        assert!(check_conservation(&snaps).is_empty());
+    }
+
+    #[test]
+    fn leftover_map_is_reported() {
+        let mut s = clean(3);
+        s.map_keys = 2;
+        s.map_threads = 7;
+        let v = check_completed(&[s], false);
+        assert!(matches!(
+            v[0],
+            Violation::MapNotEmpty {
+                node: 3,
+                keys: 2,
+                threads: 7
+            }
+        ));
+        let msg = v[0].to_string();
+        assert!(msg.contains("n3") && msg.contains("M not empty"), "{msg}");
+    }
+
+    #[test]
+    fn stuck_pending_names_pointers() {
+        let mut s = clean(1);
+        s.pending_requests = 1;
+        s.pending_sample = vec!["<n2:c0:#5>".into()];
+        // Conservation still balances: issued == installed + outstanding.
+        s.requests_issued = 11;
+        let v = check_completed(&[s], false);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].to_string().contains("<n2:c0:#5>"));
+    }
+
+    #[test]
+    fn reply_leak_detected() {
+        let mut s = clean(0);
+        s.objects_installed = 11; // double-install
+        let v = check_conservation(&[s]);
+        assert!(matches!(v[0], Violation::ReplyLeak { node: 0, .. }));
+    }
+
+    #[test]
+    fn update_over_apply_is_always_a_violation() {
+        let mut a = clean(0);
+        a.updates_applied = 6; // emitted only 4 on this node, 8 total
+        let snaps = vec![a, clean(1)];
+        // Even with `lossy = true` (drops allowed), applied > emitted is
+        // impossible without a double-apply.
+        assert!(check_conservation(&snaps)
+            .iter()
+            .any(|v| matches!(v, Violation::UpdateOverApplied { .. })));
+    }
+
+    #[test]
+    fn lossy_run_tolerates_lost_updates_only() {
+        let mut a = clean(0);
+        a.updates_applied = 2; // 2 of its 4 emissions were dropped
+        let snaps = vec![a, clean(1)];
+        assert!(check_completed(&snaps, true).is_empty());
+        assert!(check_completed(&snaps, false)
+            .iter()
+            .any(|v| matches!(v, Violation::UpdateLeak { .. })));
+    }
+}

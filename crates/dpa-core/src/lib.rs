@@ -31,6 +31,7 @@
 
 pub mod config;
 pub mod driver;
+pub mod invariant;
 pub mod mapping;
 pub mod msg;
 mod owner;
@@ -41,7 +42,8 @@ pub mod synth;
 pub mod work;
 
 pub use config::{CostModel, DpaConfig, Variant};
-pub use driver::{run_phase, run_phase_faulty, run_phase_traced};
+pub use driver::{run_phase, run_phase_dst, run_phase_faulty, run_phase_traced, DstOptions};
+pub use invariant::{check_completed, check_conservation, NodeSnapshot, Violation};
 pub use mapping::PointerMap;
 pub use msg::DpaMsg;
 pub use pending::PendingRequests;

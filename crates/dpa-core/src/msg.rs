@@ -22,7 +22,18 @@ pub enum DpaMsg {
     /// as reductions"); commutative-associative, so batching and reorder
     /// are semantics-preserving. No reply: the simulated machine drains
     /// all deliveries before a phase can complete.
-    Update(Vec<(GPtr, f64)>),
+    ///
+    /// Unlike requests/replies (idempotent via the D table and arrival
+    /// set), a re-applied update would corrupt the reduction, so each
+    /// carries a per-sender sequence number and receivers deduplicate on
+    /// `(sender, seq)` — exactly-once application under at-least-once
+    /// delivery. The seq travels in the packet header (no payload cost).
+    Update {
+        /// Per-sender monotone sequence number (dedup key).
+        seq: u64,
+        /// The `(pointer, contribution)` entries to fold in.
+        entries: Vec<(GPtr, f64)>,
+    },
 }
 
 impl DpaMsg {
@@ -31,7 +42,7 @@ impl DpaMsg {
         match self {
             DpaMsg::Request(v) => v.len(),
             DpaMsg::Reply(v) => v.len(),
-            DpaMsg::Update(v) => v.len(),
+            DpaMsg::Update { entries, .. } => entries.len(),
         }
     }
 }
@@ -44,7 +55,7 @@ impl MsgSize for DpaMsg {
                 .iter()
                 .map(|&(_, size)| size + GPtr::WIRE_BYTES)
                 .sum(),
-            DpaMsg::Update(v) => (v.len() as u32) * (GPtr::WIRE_BYTES + 8),
+            DpaMsg::Update { entries, .. } => (entries.len() as u32) * (GPtr::WIRE_BYTES + 8),
         }
     }
 }
@@ -76,13 +87,37 @@ mod tests {
     fn empty_messages_are_zero_payload() {
         assert_eq!(DpaMsg::Request(vec![]).size_bytes(), 0);
         assert_eq!(DpaMsg::Reply(vec![]).size_bytes(), 0);
-        assert_eq!(DpaMsg::Update(vec![]).size_bytes(), 0);
+        assert_eq!(
+            DpaMsg::Update {
+                seq: 0,
+                entries: vec![]
+            }
+            .size_bytes(),
+            0
+        );
     }
 
     #[test]
     fn update_bytes_carry_pointer_and_value() {
-        let m = DpaMsg::Update(vec![(p(1), 0.5), (p(2), 1.5)]);
+        let m = DpaMsg::Update {
+            seq: 7,
+            entries: vec![(p(1), 0.5), (p(2), 1.5)],
+        };
         assert_eq!(m.size_bytes(), 2 * 16);
         assert_eq!(m.entries(), 2);
+    }
+
+    #[test]
+    fn update_seq_rides_in_header() {
+        // Same entries, different seq: the wire cost must not change.
+        let a = DpaMsg::Update {
+            seq: 1,
+            entries: vec![(p(1), 0.5)],
+        };
+        let b = DpaMsg::Update {
+            seq: u64::MAX,
+            entries: vec![(p(1), 0.5)],
+        };
+        assert_eq!(a.size_bytes(), b.size_bytes());
     }
 }

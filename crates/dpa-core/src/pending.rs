@@ -46,6 +46,12 @@ impl PendingRequests {
         self.set.contains(&ptr)
     }
 
+    /// Iterate over the outstanding pointers (arbitrary order). Used by the
+    /// stall reporter to name exactly which fetches never completed.
+    pub fn iter(&self) -> impl Iterator<Item = &GPtr> {
+        self.set.iter()
+    }
+
     /// Requests currently outstanding.
     pub fn len(&self) -> usize {
         self.set.len()

@@ -19,15 +19,20 @@
 //! one-sided gets regardless of what the local CPU is doing.
 
 use crate::config::{DpaConfig, Variant};
+use crate::invariant::NodeSnapshot;
 use crate::msg::DpaMsg;
 use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
-use global_heap::SoftCache;
+use global_heap::{GPtr, SoftCache};
 use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 struct Stalled<W> {
     iter: u32,
     work: W,
+    /// The missed object this node is blocked on. A reply resumes the node
+    /// only if it covers this pointer — a duplicated reply for some *other*
+    /// object (fault injection) must not resume the wrong work.
+    ptr: GPtr,
 }
 
 /// A caching/blocking baseline node.
@@ -49,8 +54,14 @@ pub struct CachingProc<A: PtrApp> {
     completed_iters: u64,
     request_msgs: u64,
     reply_msgs: u64,
+    /// Update messages sent; doubles as the per-sender update sequence.
     update_msgs: u64,
+    updates_emitted: u64,
     updates_applied: u64,
+    /// Replies that actually resumed blocked work (duplicates excluded).
+    replies_installed: u64,
+    /// `(sender, seq)` of Update messages already applied (dedup).
+    seen_updates: HashSet<(u16, u64)>,
     stall_count: u64,
     wake_scheduled: bool,
     done: bool,
@@ -89,7 +100,10 @@ impl<A: PtrApp> CachingProc<A> {
             request_msgs: 0,
             reply_msgs: 0,
             update_msgs: 0,
+            updates_emitted: 0,
             updates_applied: 0,
+            replies_installed: 0,
+            seen_updates: HashSet::new(),
             stall_count: 0,
             wake_scheduled: false,
             done: false,
@@ -104,6 +118,30 @@ impl<A: PtrApp> CachingProc<A> {
     /// Completed top-level iterations.
     pub fn completed_iterations(&self) -> u64 {
         self.completed_iters
+    }
+
+    /// Export the runtime-state counters the DST invariant checker needs.
+    /// The baseline has no M table or coalescers: every request is one
+    /// entry on the wire and at most one fetch is outstanding.
+    pub fn snapshot(&self, node: u16) -> NodeSnapshot {
+        NodeSnapshot {
+            node,
+            pending_requests: usize::from(self.stalled.is_some()),
+            pending_sample: self
+                .stalled
+                .iter()
+                .map(|st| st.ptr.to_string())
+                .collect(),
+            in_flight: usize::from(self.stalled.is_some()),
+            requests_issued: self.request_msgs,
+            objects_installed: self.replies_installed,
+            req_pushed: self.request_msgs,
+            req_sent: self.request_msgs,
+            updates_emitted: self.updates_emitted,
+            updates_applied: self.updates_applied,
+            upd_sent: self.update_msgs,
+            ..NodeSnapshot::default()
+        }
     }
 
     fn finish_one_work(&mut self, iter: u32) {
@@ -135,13 +173,21 @@ impl<A: PtrApp> CachingProc<A> {
                 // remote reduction as its own message (no batching, no
                 // reply); local targets apply in place. Reductions are not
                 // threads, so they never enter the live count.
+                self.updates_emitted += 1;
                 if ptr.is_local_to(me) {
                     ctx.charge_overhead(self.fill_ns);
                     self.updates_applied += 1;
                     self.app.apply_update(ptr, value);
                 } else {
+                    let seq = self.update_msgs;
                     self.update_msgs += 1;
-                    ctx.send(NodeId(ptr.node()), DpaMsg::Update(vec![(ptr, value)]));
+                    ctx.send(
+                        NodeId(ptr.node()),
+                        DpaMsg::Update {
+                            seq,
+                            entries: vec![(ptr, value)],
+                        },
+                    );
                 }
                 continue;
             }
@@ -187,7 +233,7 @@ impl<A: PtrApp> CachingProc<A> {
                             *self.iter_live.entry(iter).or_insert(0) += 1;
                             self.cont_stack.push((iter, emits));
                         }
-                        self.stalled = Some(Stalled { iter, work });
+                        self.stalled = Some(Stalled { iter, work, ptr });
                         return false;
                     }
                 }
@@ -260,7 +306,12 @@ impl<A: PtrApp> Proc for CachingProc<A> {
                 self.reply_msgs +=
                     crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs);
             }
-            DpaMsg::Update(entries) => {
+            DpaMsg::Update { seq, entries } => {
+                // Dedup on (sender, seq): duplicated delivery must not
+                // fold a reduction in twice.
+                if !self.seen_updates.insert((src.0, seq)) {
+                    return;
+                }
                 for (ptr, value) in entries {
                     debug_assert!(ptr.is_local_to(ctx.me().0));
                     ctx.charge_overhead(self.fill_ns);
@@ -270,18 +321,30 @@ impl<A: PtrApp> Proc for CachingProc<A> {
             }
             DpaMsg::Reply(objs) => {
                 debug_assert_eq!(objs.len(), 1, "baseline fetches one object at a time");
-                let st = self.stalled.take().expect("reply while not stalled");
                 for &(ptr, size) in &objs {
                     ctx.charge_overhead(self.fill_ns);
-                    self.cache.fill(ptr, size);
+                    self.cache.fill(ptr, size); // idempotent: keeps the first fill
                 }
-                // Resume: the blocked work runs immediately (top of the
-                // stack) so the filled object is still cached when read.
-                self.stack.push(Tagged {
-                    iter: st.iter,
-                    work: st.work,
-                });
-                self.drive(ctx);
+                // Resume only when this reply covers the object we are
+                // blocked on. A duplicated reply (fault injection) arrives
+                // either while not stalled at all or while blocked on a
+                // *different* object; both are ignored — the cache fill
+                // above already did any useful work.
+                let covers = self
+                    .stalled
+                    .as_ref()
+                    .is_some_and(|st| objs.iter().any(|&(p, _)| p == st.ptr));
+                if covers {
+                    let st = self.stalled.take().expect("checked above");
+                    self.replies_installed += 1;
+                    // The blocked work runs immediately (top of the stack)
+                    // so the filled object is still cached when read.
+                    self.stack.push(Tagged {
+                        iter: st.iter,
+                        work: st.work,
+                    });
+                    self.drive(ctx);
+                }
             }
         }
     }
@@ -295,6 +358,22 @@ impl<A: PtrApp> Proc for CachingProc<A> {
         self.done
     }
 
+    fn stall_detail(&self) -> Option<String> {
+        if self.done {
+            return None;
+        }
+        let blocked = match &self.stalled {
+            Some(st) => format!("blocked on {} (iter {})", st.ptr, st.iter),
+            None => "not blocked".to_string(),
+        };
+        Some(format!(
+            "iters {}/{} done; {blocked}; {} continuations stashed",
+            self.completed_iters,
+            self.total_iters,
+            self.cont_stack.len()
+        ))
+    }
+
     fn on_finish(&mut self, stats: &mut NodeStats) {
         let cs = self.cache.stats();
         stats.bump("iterations", self.completed_iters);
@@ -306,6 +385,7 @@ impl<A: PtrApp> Proc for CachingProc<A> {
         stats.bump("request_msgs", self.request_msgs);
         stats.bump("reply_msgs", self.reply_msgs);
         stats.bump("update_msgs", self.update_msgs);
+        stats.bump("updates_emitted", self.updates_emitted);
         stats.bump("updates_applied", self.updates_applied);
         stats.bump("stalls", self.stall_count);
     }

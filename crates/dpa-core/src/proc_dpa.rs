@@ -30,6 +30,7 @@
 //! paper notes poll placement was hand-tuned in their codes).
 
 use crate::config::{DpaConfig, Variant};
+use crate::invariant::NodeSnapshot;
 use crate::mapping::PointerMap;
 use crate::msg::DpaMsg;
 use crate::pending::PendingRequests;
@@ -37,7 +38,7 @@ use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
 use fastmsg::Coalescer;
 use global_heap::{ArrivalSet, GPtr};
 use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A DPA node: the application's per-node instance plus runtime state.
 pub struct DpaProc<A: PtrApp> {
@@ -70,9 +71,18 @@ pub struct DpaProc<A: PtrApp> {
     peak_in_flight: u64,
     request_msgs: u64,
     reply_msgs: u64,
+    /// Update messages sent; doubles as this node's per-sender update
+    /// sequence counter (the k-th Update we send carries `seq == k`).
     update_msgs: u64,
     updates_emitted: u64,
     updates_applied: u64,
+    /// Request entries put on the wire (conservation vs. `coal` pushes).
+    request_entries_sent: u64,
+    /// Reduction entries put on the wire.
+    update_entries_sent: u64,
+    /// `(sender, seq)` pairs of Update messages already applied; makes
+    /// reduction application idempotent under duplicated delivery.
+    seen_updates: HashSet<(u16, u64)>,
     wake_scheduled: bool,
     done: bool,
 }
@@ -118,6 +128,9 @@ impl<A: PtrApp> DpaProc<A> {
             update_msgs: 0,
             updates_emitted: 0,
             updates_applied: 0,
+            request_entries_sent: 0,
+            update_entries_sent: 0,
+            seen_updates: HashSet::new(),
             wake_scheduled: false,
             done: false,
         }
@@ -131,6 +144,30 @@ impl<A: PtrApp> DpaProc<A> {
     /// Completed top-level iterations.
     pub fn completed_iterations(&self) -> u64 {
         self.completed_iters
+    }
+
+    /// Export the runtime-state counters the DST invariant checker needs
+    /// (see [`crate::invariant`]). `node` is this proc's node id (the proc
+    /// itself does not know it outside a message context).
+    pub fn snapshot(&self, node: u16) -> NodeSnapshot {
+        let held_entries: usize = self.held.iter().map(|(_, b)| b.len()).sum();
+        NodeSnapshot {
+            node,
+            map_keys: self.map.keys(),
+            map_threads: self.map.live_threads(),
+            pending_requests: self.pending.len(),
+            pending_sample: self.pending.iter().take(4).map(|p| p.to_string()).collect(),
+            in_flight: self.in_flight,
+            requests_issued: self.pending.total(),
+            objects_installed: self.arrived.total_inserts(),
+            req_pushed: self.coal.total_pushed(),
+            req_sent: self.request_entries_sent,
+            req_buffered: self.coal.pending() + held_entries,
+            updates_emitted: self.updates_emitted,
+            updates_applied: self.updates_applied,
+            upd_sent: self.update_entries_sent,
+            upd_buffered: self.upd_coal.pending(),
+        }
     }
 
     #[inline]
@@ -200,8 +237,16 @@ impl<A: PtrApp> DpaProc<A> {
 
     fn send_update(&mut self, ctx: &mut Ctx<'_, DpaMsg>, dst: u16, batch: Vec<(GPtr, f64)>) {
         debug_assert!(!batch.is_empty());
+        let seq = self.update_msgs;
         self.update_msgs += 1;
-        ctx.send(NodeId(dst), DpaMsg::Update(batch));
+        self.update_entries_sent += batch.len() as u64;
+        ctx.send(
+            NodeId(dst),
+            DpaMsg::Update {
+                seq,
+                entries: batch,
+            },
+        );
     }
 
     fn finish_one_work(&mut self, iter: u32) {
@@ -239,6 +284,7 @@ impl<A: PtrApp> DpaProc<A> {
         self.in_flight += batch.len();
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight as u64);
         self.request_msgs += 1;
+        self.request_entries_sent += batch.len() as u64;
         ctx.send(NodeId(dst), DpaMsg::Request(batch));
     }
 
@@ -251,12 +297,19 @@ impl<A: PtrApp> DpaProc<A> {
 
     /// Requester side: install arrived objects and release their aligned
     /// threads (tiling: they will run consecutively).
+    ///
+    /// Idempotent: a duplicated reply (fault injection) finds the object
+    /// already in the arrival set and changes nothing — no double release,
+    /// no D/in-flight corruption. The handler overhead is still charged
+    /// (the CPU really does re-hash the pointer before discovering the dup).
     fn install_reply(&mut self, ctx: &mut Ctx<'_, DpaMsg>, objs: Vec<(GPtr, u32)>) {
         for (ptr, size) in objs {
-            self.in_flight = self.in_flight.saturating_sub(1);
             ctx.charge_overhead(self.cfg.cost.reply_install_ns + self.pressure());
             let fresh = self.arrived.insert(ptr, size);
-            debug_assert!(fresh, "object {ptr} delivered twice");
+            if !fresh {
+                continue;
+            }
+            self.in_flight = self.in_flight.saturating_sub(1);
             let was_pending = self.pending.complete(ptr);
             debug_assert!(was_pending, "unsolicited reply for {ptr}");
             let released = self.map.release(ptr);
@@ -354,7 +407,13 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                 self.install_reply(ctx, objs);
                 self.drive(ctx);
             }
-            DpaMsg::Update(entries) => {
+            DpaMsg::Update { seq, entries } => {
+                // Exactly-once application under at-least-once delivery:
+                // a duplicated Update message is recognized by its
+                // (sender, seq) pair and skipped wholesale.
+                if !self.seen_updates.insert((src.0, seq)) {
+                    return;
+                }
                 for (ptr, value) in entries {
                     debug_assert!(ptr.is_local_to(ctx.me().0));
                     ctx.charge_overhead(self.cfg.cost.owner_lookup_ns);
@@ -372,6 +431,24 @@ impl<A: PtrApp> Proc for DpaProc<A> {
 
     fn quiescent(&self) -> bool {
         self.done
+    }
+
+    fn stall_detail(&self) -> Option<String> {
+        if self.done {
+            return None;
+        }
+        let stuck: Vec<String> = self.pending.iter().take(4).map(|p| p.to_string()).collect();
+        Some(format!(
+            "iters {}/{} done, {} live; D={} in_flight={} M={} keys/{} threads; stuck on [{}]",
+            self.completed_iters,
+            self.total_iters,
+            self.iter_live.len(),
+            self.pending.len(),
+            self.in_flight,
+            self.map.keys(),
+            self.map.live_threads(),
+            stuck.join(", ")
+        ))
     }
 
     fn on_finish(&mut self, stats: &mut NodeStats) {

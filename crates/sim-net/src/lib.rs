@@ -21,6 +21,8 @@
 //! * [`machine`] — event queue, per-node clocks, [`machine::Proc`] behaviors.
 //! * [`stats`] — local / overhead / idle breakdown per node, user counters.
 //! * [`rng`] — dependency-free deterministic RNG for fault schedules.
+//! * [`fault`] — fault plans (drop / duplicate / delay / pause) with
+//!   per-channel decision streams, reproducible independent of schedule.
 //!
 //! Higher layers: `fastmsg` (active messages + aggregation), `global-heap`
 //! (PGAS object store), `dpa-core` (the paper's runtime), `apps`
@@ -54,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod machine;
 pub mod network;
 pub mod rng;
@@ -61,7 +64,8 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use machine::{Ctx, Machine, NodeId, Proc, RunReport};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, NodePause};
+pub use machine::{Ctx, Machine, NodeId, Proc, RunReport, StallInfo};
 pub use network::{MsgSize, NetConfig};
 pub use rng::Rng;
 pub use stats::{ChargeKind, NodeStats, RunStats};

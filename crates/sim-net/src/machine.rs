@@ -9,7 +9,9 @@
 //! identical event orders (ties broken by sequence number), so all reported
 //! times are exactly reproducible.
 
+use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 use crate::network::{MsgSize, NetConfig};
+use crate::rng::Rng;
 use crate::stats::{ChargeKind, NodeStats, RunStats};
 use crate::time::{Dur, Time};
 use crate::trace::Trace;
@@ -69,6 +71,14 @@ pub trait Proc {
     fn on_finish(&mut self, stats: &mut NodeStats) {
         let _ = stats;
     }
+
+    /// When the run stalls (`quiescent()` is false after the queue
+    /// drains), a human-readable description of *what* this node is
+    /// waiting on — e.g. the pending pointers whose replies never came.
+    /// Surfaced in [`RunReport::stalls`] so a failed run is actionable.
+    fn stall_detail(&self) -> Option<String> {
+        None
+    }
 }
 
 enum EventKind<M> {
@@ -78,15 +88,27 @@ enum EventKind<M> {
 
 struct Event<M> {
     time: Time,
+    /// Secondary sort key: 0 in the default schedule (FIFO among ties via
+    /// `seq`); a seeded hash of `seq` under schedule perturbation, so
+    /// same-timestamp events pop in a per-seed pseudorandom permutation.
+    tie: u64,
     seq: u64,
     dst: NodeId,
     kind: EventKind<M>,
 }
 
 impl<M> Event<M> {
-    fn key(&self) -> Reverse<(u64, u64)> {
-        Reverse((self.time.0, self.seq))
+    fn key(&self) -> Reverse<(u64, u64, u64)> {
+        Reverse((self.time.0, self.tie, self.seq))
     }
+}
+
+/// SplitMix-style finalizer: the tie-break permutation for one seed.
+fn tie_hash(seed: u64, seq: u64) -> u64 {
+    let mut z = seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl<M> PartialEq for Event<M> {
@@ -209,6 +231,37 @@ impl<'a, M: MsgSize> Ctx<'a, M> {
     }
 }
 
+/// Diagnostic for one non-quiescent node after the event queue drained.
+#[derive(Clone, Debug)]
+pub struct StallInfo {
+    /// The stuck node.
+    pub node: NodeId,
+    /// Messages this node sent.
+    pub msgs_sent: u64,
+    /// Messages this node received.
+    pub msgs_recv: u64,
+    /// Messages destined to this node that fault injection dropped — the
+    /// usual culprits for the stall.
+    pub undelivered: u64,
+    /// The node's own account of what it is waiting on
+    /// ([`Proc::stall_detail`]), e.g. the stuck pending pointers.
+    pub detail: Option<String>,
+}
+
+impl std::fmt::Display for StallInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: sent {} recv {} undelivered-to {}",
+            self.node, self.msgs_sent, self.msgs_recv, self.undelivered
+        )?;
+        if let Some(d) = &self.detail {
+            write!(f, " — {d}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Result of a complete machine run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -218,12 +271,24 @@ pub struct RunReport {
     /// `true` iff every node reported quiescent when the queue drained.
     /// `false` indicates a stall, e.g. a reply lost to fault injection.
     pub completed: bool,
+    /// One entry per non-quiescent node when `completed` is false
+    /// (deadlock detection: the queue drained but work remains).
+    pub stalls: Vec<StallInfo>,
 }
 
 impl RunReport {
     /// The phase execution time the paper reports (global makespan).
     pub fn makespan(&self) -> Time {
         self.stats.makespan
+    }
+
+    /// One-line-per-node description of the stall (empty when completed).
+    pub fn stall_summary(&self) -> String {
+        self.stalls
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -235,8 +300,15 @@ pub struct Machine<P: Proc> {
     stats: Vec<NodeStats>,
     queue: BinaryHeap<Event<P::Msg>>,
     next_seq: u64,
-    drop_counter: u64,
+    faults: FaultInjector,
     dropped: u64,
+    duplicated: u64,
+    delayed: u64,
+    /// Per-destination count of messages lost to fault injection.
+    dropped_to: Vec<u64>,
+    /// `Some(seed)` ⇒ same-timestamp events pop in a seeded permutation.
+    schedule_seed: Option<u64>,
+    jitter_rng: Rng,
     trace: Option<Trace>,
     /// Hard cap on processed events; exceeded => panic (runaway guard).
     pub max_events: u64,
@@ -247,6 +319,11 @@ impl<P: Proc> Machine<P> {
     pub fn new(procs: Vec<P>, net: NetConfig) -> Machine<P> {
         let n = procs.len();
         assert!(n > 0 && n <= u16::MAX as usize, "node count {n}");
+        // The legacy `NetConfig::drop_every` knob maps onto a fault plan.
+        let plan = FaultPlan {
+            drop_every: net.drop_every,
+            ..FaultPlan::default()
+        };
         Machine {
             procs,
             net,
@@ -254,11 +331,31 @@ impl<P: Proc> Machine<P> {
             stats: vec![NodeStats::default(); n],
             queue: BinaryHeap::new(),
             next_seq: 0,
-            drop_counter: 0,
+            faults: FaultInjector::new(plan),
             dropped: 0,
+            duplicated: 0,
+            delayed: 0,
+            dropped_to: vec![0; n],
+            schedule_seed: None,
+            jitter_rng: Rng::new(0),
             trace: None,
             max_events: u64::MAX,
         }
+    }
+
+    /// Install a fault plan (replaces any legacy `drop_every` mapping).
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = FaultInjector::new(plan);
+    }
+
+    /// Enable seeded schedule perturbation: events with equal timestamps
+    /// pop in a per-`seed` pseudorandom permutation instead of FIFO order,
+    /// and when `net.jitter_ns > 0` remote deliveries also get a seeded
+    /// jitter in `[0, jitter_ns]`. Each seed yields one deterministic,
+    /// exactly-replayable alternative schedule.
+    pub fn perturb_schedule(&mut self, seed: u64) {
+        self.schedule_seed = Some(seed);
+        self.jitter_rng = Rng::new(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     }
 
     /// Record per-node busy spans during the run (see [`crate::trace`]).
@@ -282,29 +379,72 @@ impl<P: Proc> Machine<P> {
         &self.procs[id.index()]
     }
 
+    fn push_event(&mut self, time: Time, dst: NodeId, kind: EventKind<P::Msg>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let tie = match self.schedule_seed {
+            Some(seed) => tie_hash(seed, seq),
+            None => 0,
+        };
+        self.queue.push(Event {
+            time,
+            tie,
+            seq,
+            dst,
+            kind,
+        });
+    }
+}
+
+impl<P: Proc> Machine<P>
+where
+    P::Msg: Clone,
+{
     fn flush_outbox(&mut self, out: &mut Vec<PendingSend<P::Msg>>) {
         for p in out.drain(..) {
-            // Fault injection: drop every k-th *network* message.
-            if p.msg.is_some() {
-                if let Some(k) = self.net.drop_every {
-                    self.drop_counter += 1;
-                    if self.drop_counter.is_multiple_of(k) {
-                        self.dropped += 1;
-                        continue;
-                    }
+            let msg = match p.msg {
+                Some(m) => m,
+                None => {
+                    // Wake timers bypass the network: no faults, no jitter.
+                    self.push_event(p.at, p.dst, EventKind::Wake);
+                    continue;
                 }
+            };
+            let (extra_delay_ns, duplicate) = match self.faults.decide(p.src.0, p.dst.0) {
+                FaultAction::Drop => {
+                    self.dropped += 1;
+                    self.dropped_to[p.dst.index()] += 1;
+                    continue;
+                }
+                FaultAction::Deliver {
+                    extra_delay_ns,
+                    duplicate,
+                } => (extra_delay_ns, duplicate),
+            };
+            let jitter_ns = if self.net.jitter_ns > 0 && p.dst != p.src {
+                self.jitter_rng.below(self.net.jitter_ns + 1)
+            } else {
+                0
+            };
+            if extra_delay_ns > 0 {
+                self.delayed += 1;
             }
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            self.queue.push(Event {
-                time: p.at,
-                seq,
-                dst: p.dst,
-                kind: match p.msg {
-                    Some(m) => EventKind::Deliver { src: p.src, msg: m },
-                    None => EventKind::Wake,
-                },
-            });
+            let at_ns = self
+                .faults
+                .pause_adjust(p.dst.0, p.at.0 + extra_delay_ns + jitter_ns);
+            let at = Time(at_ns);
+            if duplicate {
+                self.duplicated += 1;
+                self.push_event(
+                    at,
+                    p.dst,
+                    EventKind::Deliver {
+                        src: p.src,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+            self.push_event(at, p.dst, EventKind::Deliver { src: p.src, msg });
         }
     }
 
@@ -378,13 +518,33 @@ impl<P: Proc> Machine<P> {
             self.procs[i].on_finish(&mut self.stats[i]);
         }
 
+        // Deadlock detection: the queue drained, yet some node still has
+        // pending work. Name the culprits instead of a bare `false`.
+        let mut stalls = Vec::new();
+        if !completed {
+            for (i, p) in self.procs.iter().enumerate() {
+                if !p.quiescent() {
+                    stalls.push(StallInfo {
+                        node: NodeId(i as u16),
+                        msgs_sent: self.stats[i].msgs_sent,
+                        msgs_recv: self.stats[i].msgs_recv,
+                        undelivered: self.dropped_to[i],
+                        detail: p.stall_detail(),
+                    });
+                }
+            }
+        }
+
         RunReport {
             stats: RunStats {
                 nodes: std::mem::take(&mut self.stats),
                 makespan,
                 dropped_packets: self.dropped,
+                duplicated_packets: self.duplicated,
+                delayed_packets: self.delayed,
             },
             completed,
+            stalls,
         }
     }
 }
@@ -543,6 +703,117 @@ mod tests {
                 end = s.start_ns + s.dur_ns;
             }
         }
+    }
+
+    #[test]
+    fn stall_report_names_stuck_nodes() {
+        let net = NetConfig {
+            drop_every: Some(2),
+            ..NetConfig::default()
+        };
+        let mut m = pingpong_machine(4, net);
+        let r = m.run();
+        assert!(!r.completed);
+        assert!(!r.stalls.is_empty(), "stall must carry diagnostics");
+        for s in &r.stalls {
+            assert!(s.undelivered > 0, "stuck node should see dropped traffic");
+        }
+        assert!(r.stall_summary().contains("undelivered-to"));
+        // A completed run carries no stall entries.
+        let ok = pingpong_machine(4, NetConfig::default()).run();
+        assert!(ok.completed && ok.stalls.is_empty());
+    }
+
+    #[test]
+    fn perturbed_schedules_are_deterministic_per_seed() {
+        let run = |seed: Option<u64>| {
+            let mut m = pingpong_machine(8, NetConfig::default());
+            if let Some(s) = seed {
+                m.perturb_schedule(s);
+            }
+            let r = m.run();
+            assert!(r.completed);
+            (r.makespan(), m.proc(NodeId(0)).received)
+        };
+        // Same seed ⇒ identical run; results identical across schedules.
+        assert_eq!(run(Some(7)), run(Some(7)));
+        assert_eq!(run(None).1, run(Some(7)).1);
+        assert_eq!(run(Some(1)).1, run(Some(2)).1);
+    }
+
+    #[test]
+    fn jitter_changes_timing_not_results() {
+        let run = |seed: u64, jitter: u64| {
+            let mut m = pingpong_machine(6, NetConfig {
+                jitter_ns: jitter,
+                ..NetConfig::default()
+            });
+            m.perturb_schedule(seed);
+            let r = m.run();
+            assert!(r.completed, "jitter must not lose messages");
+            (r.makespan(), m.proc(NodeId(0)).received)
+        };
+        let base = run(3, 0);
+        let mut saw_different_makespan = false;
+        for seed in 0..8 {
+            let j = run(seed, 20_000);
+            assert_eq!(j.1, base.1, "received count is schedule-invariant");
+            if j.0 != base.0 {
+                saw_different_makespan = true;
+            }
+        }
+        assert!(saw_different_makespan, "jitter should move the makespan");
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let mut m = pingpong_machine(5, NetConfig::default());
+        m.set_faults(FaultPlan::duplicate(11, 1.0));
+        let r = m.run();
+        // Every ping and every echo is doubled: node 0 sees 2× echoes and
+        // node 1 re-echoes each duplicated ping.
+        assert_eq!(r.stats.duplicated_packets, r.stats.total_msgs());
+        assert!(m.proc(NodeId(0)).received > 5);
+    }
+
+    #[test]
+    fn delay_fault_slows_but_completes() {
+        let base = pingpong_machine(5, NetConfig::default()).run();
+        let mut m = pingpong_machine(5, NetConfig::default());
+        m.set_faults(FaultPlan::delay(13, 1.0, 1_000_000));
+        let r = m.run();
+        assert!(r.completed);
+        assert!(r.stats.delayed_packets > 0);
+        assert!(r.makespan() > base.makespan());
+    }
+
+    #[test]
+    fn drop_nth_kills_exactly_one_message() {
+        let mut m = pingpong_machine(5, NetConfig::default());
+        m.set_faults(FaultPlan::drop_nth(2));
+        let r = m.run();
+        assert!(!r.completed);
+        assert_eq!(r.stats.dropped_packets, 1);
+        assert_eq!(r.stalls.len(), 2, "both sides wait on the lost ping");
+    }
+
+    #[test]
+    fn node_pause_defers_delivery() {
+        let mut m = pingpong_machine(1, NetConfig::default());
+        m.set_faults(FaultPlan {
+            pauses: vec![crate::fault::NodePause {
+                node: 1,
+                from_ns: 0,
+                until_ns: 5_000_000,
+            }],
+            ..FaultPlan::default()
+        });
+        let r = m.run();
+        assert!(r.completed);
+        assert!(
+            r.makespan().as_ns() >= 5_000_000,
+            "ping waits out the pause window"
+        );
     }
 
     #[test]

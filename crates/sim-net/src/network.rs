@@ -33,8 +33,14 @@ pub struct NetConfig {
     /// Fixed header bytes charged to every packet on the wire.
     pub header_bytes: u32,
     /// If `Some(k)`, drop every k-th packet (fault injection; the run
-    /// report's `stats.dropped_packets` counts the losses).
+    /// report's `stats.dropped_packets` counts the losses). Legacy shortcut
+    /// for `FaultPlan { drop_every, .. }` — see `sim_net::fault`.
     pub drop_every: Option<u64>,
+    /// Maximum extra per-message wire jitter, ns. When nonzero, every
+    /// remote delivery is delayed by a seeded uniform draw in
+    /// `[0, jitter_ns]` (schedule perturbation for DST; the draw stream is
+    /// controlled by `Machine::perturb_schedule`).
+    pub jitter_ns: u64,
 }
 
 impl Default for NetConfig {
@@ -46,6 +52,7 @@ impl Default for NetConfig {
             gap_ns_per_byte: 8,
             header_bytes: 16,
             drop_every: None,
+            jitter_ns: 0,
         }
     }
 }
@@ -61,6 +68,7 @@ impl NetConfig {
             gap_ns_per_byte: 0,
             header_bytes: 0,
             drop_every: None,
+            jitter_ns: 0,
         }
     }
 

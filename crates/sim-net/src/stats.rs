@@ -83,6 +83,11 @@ pub struct RunStats {
     pub makespan: Time,
     /// Packets dropped by fault injection.
     pub dropped_packets: u64,
+    /// Packets delivered twice by fault injection.
+    pub duplicated_packets: u64,
+    /// Packets given extra delay by fault injection (excludes schedule
+    /// jitter, which perturbs every remote delivery).
+    pub delayed_packets: u64,
 }
 
 impl RunStats {
@@ -165,7 +170,7 @@ mod tests {
         let run = RunStats {
             nodes: vec![a, b],
             makespan: Time(100),
-            dropped_packets: 0,
+            ..RunStats::default()
         };
         assert_eq!(run.total_msgs(), 8);
         assert_eq!(run.user_total("x"), 10);

@@ -1,0 +1,210 @@
+//! DST-focused properties: fault injection (duplicate / delay / drop)
+//! against the runtime's idempotence and conservation guarantees, over
+//! randomized worlds and fault seeds.
+
+use dpa::apps::relax::{RelaxApp, RelaxWorld};
+use dpa::global_heap::{ArrivalSet, GPtr, ObjClass};
+use dpa::runtime::invariant::Violation;
+use dpa::runtime::synth::{SynthApp, SynthParams, SynthWorld};
+use dpa::runtime::{check_completed, check_conservation, run_phase_dst, DpaConfig, DstOptions};
+use dpa::sim_net::{FaultPlan, NetConfig};
+use proptest::prelude::*;
+
+fn synth_world(seed: u64, nodes: u16, remote: f64) -> std::sync::Arc<SynthWorld> {
+    SynthWorld::build(SynthParams {
+        nodes,
+        lists_per_node: 6,
+        list_len: 12,
+        remote_fraction: remote,
+        shared_fraction: 0.4,
+        record_bytes: 32,
+        work_ns: 200,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The arrival set is the reply-side dedup: re-inserting a pointer
+    /// reports stale and changes no accounting, whatever the interleaving
+    /// of fresh and duplicate inserts.
+    #[test]
+    fn arrival_set_insert_is_idempotent(
+        seed in any::<u64>(),
+        n in 1usize..60,
+        dup_every in 1usize..5,
+    ) {
+        let mut rng = dpa::sim_net::Rng::new(seed);
+        let mut set = ArrivalSet::new();
+        let mut inserted: Vec<(GPtr, u32)> = Vec::new();
+        for i in 0..n {
+            if !inserted.is_empty() && i % dup_every == 0 {
+                // Duplicate delivery of an already-installed object.
+                let (p, size) = inserted[rng.below(inserted.len() as u64) as usize];
+                let before = (set.len(), set.bytes(), set.total_inserts());
+                prop_assert!(!set.insert(p, size + 7), "duplicate reported fresh");
+                prop_assert_eq!(before, (set.len(), set.bytes(), set.total_inserts()));
+                prop_assert!(set.contains(p));
+            } else {
+                let p = GPtr::new(rng.below(4) as u16, ObjClass(0), i as u64);
+                let size = 16 + rng.below(64) as u32;
+                prop_assert!(set.insert(p, size));
+                inserted.push((p, size));
+            }
+        }
+        prop_assert_eq!(set.len(), inserted.len());
+        prop_assert_eq!(set.total_inserts(), inserted.len() as u64);
+    }
+
+    /// Duplicated replies never double-install: under an aggressive
+    /// duplicate plan both the DPA and caching drivers still produce
+    /// bit-exact checksums, drain M/D, and conserve requests/replies.
+    #[test]
+    fn duplicated_replies_never_double_install(
+        seed in any::<u64>(),
+        nodes in 2u16..6,
+        remote in 0.2f64..0.9,
+        dup_p in 0.1f64..0.9,
+    ) {
+        let world = synth_world(seed, nodes, remote);
+        let expected: Vec<u64> = (0..nodes).map(|n| world.expected_sum(n)).collect();
+        for cfg in [DpaConfig::dpa(4), DpaConfig::caching()] {
+            let opts = DstOptions {
+                schedule_seed: Some(seed),
+                faults: FaultPlan::duplicate(seed ^ 0xD0_D0, dup_p),
+            };
+            let mut sums = vec![0u64; nodes as usize];
+            let (report, snaps) = run_phase_dst(
+                nodes,
+                NetConfig::default(),
+                cfg,
+                &opts,
+                |i| SynthApp::new(world.clone(), i, 200),
+                |i, app| sums[i as usize] = app.sum,
+            );
+            prop_assert!(report.completed, "dup plan stalled: {}", report.stall_summary());
+            prop_assert!(
+                report.stats.duplicated_packets > 0 || nodes == 1,
+                "plan injected nothing"
+            );
+            prop_assert_eq!(&sums, &expected);
+            let violations = check_completed(&snaps, false);
+            prop_assert!(violations.is_empty(), "violation: {}", violations[0]);
+        }
+    }
+
+    /// Duplicated updates never double-apply `Emit::Accum`: one relax
+    /// sweep under a duplicate plan matches the host oracle exactly as
+    /// often as the baseline does (per-seq dedup makes application
+    /// exactly-once), and update conservation holds machine-wide.
+    #[test]
+    fn duplicated_updates_never_double_apply(
+        seed in any::<u64>(),
+        nodes in 2u16..5,
+        remote in 0.2f64..0.8,
+        dup_p in 0.1f64..0.9,
+    ) {
+        let world = RelaxWorld::build(60, nodes, 4, remote, seed);
+        let expected = world.expected();
+        let opts = DstOptions {
+            schedule_seed: Some(seed),
+            faults: FaultPlan::duplicate(seed ^ 0xD0_D0, dup_p),
+        };
+        let mut next = vec![0.0f64; expected.len()];
+        let (report, snaps) = run_phase_dst(
+            nodes,
+            NetConfig::default(),
+            DpaConfig::dpa(6),
+            &opts,
+            |i| RelaxApp::new(world.clone(), i),
+            |i, app: &RelaxApp| {
+                for v in world.range(i) {
+                    next[v] = app.next[v];
+                }
+            },
+        );
+        prop_assert!(report.completed, "dup plan stalled: {}", report.stall_summary());
+        for (v, (got, want)) in next.iter().zip(&expected).enumerate() {
+            let err = (got - want).abs() / want.abs().max(1e-12);
+            prop_assert!(err < 1e-9, "vertex {v}: {got} vs {want} (double-applied?)");
+        }
+        let violations = check_completed(&snaps, false);
+        prop_assert!(violations.is_empty(), "violation: {}", violations[0]);
+        let emitted: u64 = snaps.iter().map(|s| s.updates_emitted).sum();
+        let applied: u64 = snaps.iter().map(|s| s.updates_applied).sum();
+        prop_assert_eq!(emitted, applied);
+    }
+
+    /// Drop plans either complete (losing only fire-and-forget updates)
+    /// or stall with a diagnosis naming the stuck state; conservation
+    /// holds either way and updates are never over-applied.
+    #[test]
+    fn drops_stall_with_diagnosis_or_lose_only_updates(
+        seed in any::<u64>(),
+        nodes in 2u16..5,
+        drop_p in 0.005f64..0.08,
+    ) {
+        let world = synth_world(seed, nodes, 0.5);
+        let expected: Vec<u64> = (0..nodes).map(|n| world.expected_sum(n)).collect();
+        let opts = DstOptions {
+            schedule_seed: Some(seed),
+            faults: FaultPlan::drop(seed ^ 0x0D0D, drop_p),
+        };
+        let mut sums = vec![0u64; nodes as usize];
+        let (report, snaps) = run_phase_dst(
+            nodes,
+            NetConfig::default(),
+            DpaConfig::dpa(4),
+            &opts,
+            |i| SynthApp::new(world.clone(), i, 200),
+            |i, app| sums[i as usize] = app.sum,
+        );
+        if report.completed {
+            // Synth has no updates, so a completed run dropped nothing
+            // and must be exact.
+            prop_assert_eq!(report.stats.dropped_packets, 0);
+            prop_assert_eq!(&sums, &expected);
+            prop_assert!(check_completed(&snaps, true).is_empty());
+        } else {
+            prop_assert!(report.stats.dropped_packets > 0);
+            prop_assert!(!report.stalls.is_empty(), "stall without diagnosis");
+            // Some stuck node must name what it is waiting for.
+            prop_assert!(
+                report.stalls.iter().any(|s| s.detail.is_some()),
+                "no stall detail: {}",
+                report.stall_summary()
+            );
+            let violations: Vec<Violation> = check_conservation(&snaps);
+            prop_assert!(violations.is_empty(), "violation: {}", violations[0]);
+        }
+    }
+
+    /// Delay plans reorder but never lose: results and invariants match
+    /// the fault-free run exactly.
+    #[test]
+    fn delays_reorder_but_preserve_results(
+        seed in any::<u64>(),
+        nodes in 2u16..5,
+        delay_p in 0.1f64..0.9,
+    ) {
+        let world = synth_world(seed, nodes, 0.5);
+        let expected: Vec<u64> = (0..nodes).map(|n| world.expected_sum(n)).collect();
+        let opts = DstOptions {
+            schedule_seed: Some(seed),
+            faults: FaultPlan::delay(seed ^ 0xDE1A, delay_p, 80_000),
+        };
+        let mut sums = vec![0u64; nodes as usize];
+        let (report, snaps) = run_phase_dst(
+            nodes,
+            NetConfig::default(),
+            DpaConfig::dpa(4),
+            &opts,
+            |i| SynthApp::new(world.clone(), i, 200),
+            |i, app| sums[i as usize] = app.sum,
+        );
+        prop_assert!(report.completed, "delay plan stalled: {}", report.stall_summary());
+        prop_assert_eq!(&sums, &expected);
+        prop_assert!(check_completed(&snaps, false).is_empty());
+    }
+}

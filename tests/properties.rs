@@ -9,7 +9,7 @@ use dpa::nbody::body::direct_accel;
 use dpa::nbody::distrib::uniform_cube;
 use dpa::nbody::octree::Octree;
 use dpa::runtime::synth::{SynthApp, SynthParams, SynthWorld};
-use dpa::runtime::{run_phase, DpaConfig};
+use dpa::runtime::{check_completed, run_phase, run_phase_dst, DpaConfig, DstOptions};
 use dpa::sim_net::NetConfig;
 use proptest::prelude::*;
 
@@ -17,7 +17,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Every execution variant computes the same checksums on random
-    /// worlds — the core "scheduling never changes semantics" guarantee.
+    /// worlds — the core "scheduling never changes semantics" guarantee —
+    /// and stays correct under seeded schedule perturbation: permuted
+    /// event tie-breaks plus message jitter must leave the (integer)
+    /// checksums bit-identical and drain the M/D tables.
     #[test]
     fn variants_agree_on_random_worlds(
         seed in any::<u64>(),
@@ -44,11 +47,32 @@ proptest! {
             run_phase(
                 nodes,
                 NetConfig::default(),
-                cfg,
+                cfg.clone(),
                 |i| SynthApp::new(world.clone(), i, 200),
                 |i, app| sums[i as usize] = app.sum,
             );
             prop_assert_eq!(&sums, &expected);
+
+            for perturb in 0..3u64 {
+                let opts = DstOptions {
+                    schedule_seed: Some(seed ^ (perturb.wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+                    ..DstOptions::default()
+                };
+                let net = NetConfig { jitter_ns: 3_000, ..NetConfig::default() };
+                let mut psums = vec![0u64; nodes as usize];
+                let (report, snaps) = run_phase_dst(
+                    nodes,
+                    net,
+                    cfg.clone(),
+                    &opts,
+                    |i| SynthApp::new(world.clone(), i, 200),
+                    |i, app| psums[i as usize] = app.sum,
+                );
+                prop_assert!(report.completed, "perturbed schedule stalled: {}", report.stall_summary());
+                prop_assert_eq!(&psums, &expected);
+                let violations = check_completed(&snaps, false);
+                prop_assert!(violations.is_empty(), "invariant violated: {}", violations[0]);
+            }
         }
     }
 
@@ -194,7 +218,7 @@ proptest! {
             .collect();
         let qs: Vec<f64> = (0..n).map(|_| 0.1 + rng.unit_f64()).collect();
         let mut s = AfmmSolver::new(zs, qs, AfmmParams {
-            terms: 16,
+            terms: 20,
             leaf_cap: 6,
             max_level: 10,
         });

@@ -1,0 +1,214 @@
+//! Offline, dependency-free stub of the subset of the `proptest` API this
+//! workspace uses: the `proptest!` macro over `name in strategy` argument
+//! lists, `ProptestConfig::with_cases`, `any::<T>()`, numeric-range
+//! strategies, and the `prop_assert*` macros.
+//!
+//! The build container has no route to crates.io, so the real `proptest`
+//! cannot be fetched. This stub keeps the property tests running with the
+//! semantics that matter here: each test body is executed for `cases`
+//! randomized inputs drawn from the given strategies, failures report the
+//! case seed and the concrete inputs. Unlike upstream there is no
+//! shrinking — the printed seed and inputs make failures reproducible
+//! directly, which is all the DST workflow needs.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, RngCore, SampleUniform, SeedableRng};
+
+/// Per-test configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` randomized cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of values for one test argument.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Full-domain generation for [`any`].
+pub trait Arbitrary {
+    /// Draw a value from the type's full domain.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy drawing from a type's full domain (subset of `proptest::arbitrary`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Deterministic per-case RNG: a pure function of test name and case index,
+/// so a failure report's case number is enough to replay it.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h = (h ^ case as u64).wrapping_mul(0x1000_0000_01b3);
+    SmallRng::seed_from_u64(h)
+}
+
+/// Run one case body, decorating any panic with the concrete inputs.
+pub fn check_case<F: FnOnce()>(test_name: &str, case: u32, inputs: &str, body: F) {
+    if let Err(e) = catch_unwind(AssertUnwindSafe(body)) {
+        eprintln!("proptest '{test_name}' failed at case {case} with inputs: {inputs}");
+        resume_unwind(e);
+    }
+}
+
+/// Property-test entry point (subset of `proptest::proptest!`).
+///
+/// Supports the form used in this workspace: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    $crate::check_case(stringify!($name), __case, &__inputs, move || $body);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assertion inside a property body (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property body (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property body (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Everything a property-test file needs (subset of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_hold(x in 3u32..17, f in 0.0f64..0.5, s in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..0.5).contains(&f));
+            prop_assert_eq!(s, s);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(n in 1usize..4) {
+            prop_assert!((1..4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = super::case_rng("t", 3);
+        let mut b = super::case_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::case_rng("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

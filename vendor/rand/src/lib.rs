@@ -1,0 +1,249 @@
+//! Offline, dependency-free stub of the subset of the `rand` 0.8 API this
+//! workspace uses: `SmallRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over numeric ranges, and `seq::SliceRandom::shuffle`.
+//!
+//! The container this repository builds in has no network access to
+//! crates.io, so the real `rand` cannot be fetched. This stub keeps the
+//! same call sites compiling and deterministic (same seed → same stream),
+//! backed by SplitMix64-seeded xoshiro256**. The value streams differ from
+//! upstream `rand`, which only shifts *which* random worlds tests and
+//! benches see — never correctness, since no test asserts specific drawn
+//! values.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Core randomness source: a raw 64-bit stream.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleUniform: Sized + Copy {
+    /// Uniform draw in `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Lemire multiply-shift; bias negligible for test workloads,
+                // rejection loop keeps it exact anyway.
+                let mut x = rng.next_u64() as u128;
+                let mut m = x * span;
+                let mut lo = m as u64;
+                if (lo as u128) < span {
+                    let threshold = (span.wrapping_neg() % span) as u64;
+                    while lo < threshold {
+                        x = rng.next_u64() as u128;
+                        m = x * span;
+                        lo = m as u64;
+                    }
+                }
+                (low as i128 + (m >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// The user-facing sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Uniform draw over a type's full domain (`bool` and `f64 ∈ [0,1)`
+    /// supported, matching upstream semantics for those types).
+    fn gen<T: Generate>(&mut self) -> T {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Generate {
+    /// Draw one value.
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Generate for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Generate for u64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Generate for f64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::{Rng, SampleUniform};
+
+    /// Slice shuffling and choosing (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_range(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_range(rng, 0, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-3i64..9);
+            assert!((-3..9).contains(&v));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice fully sorted");
+    }
+
+    #[test]
+    fn choose_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut r).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}
