@@ -21,8 +21,11 @@
 //!   diagnosis naming the stuck node and its pending requests, and only
 //!   plans that can lose packets may stall at all.
 //!
+//! The shared machinery (worlds, digests, checkers, corpus format) lives
+//! in `bench::dst` so `cargo test` can replay every committed corpus case.
 //! Failing cases are written to `tests/dst_corpus/` as replayable case
-//! files; a JSON sweep report lands in `results/dst_report.json`.
+//! files; a JSON sweep report (with per-path aggregation factors) lands in
+//! `results/dst_report.json`.
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin dst            # 32 seeds x 4 plans
@@ -30,405 +33,15 @@
 //!   cargo run --release -p bench --bin dst -- --smoke # 8 seeds x 2 plans (CI)
 //!   cargo run --release -p bench --bin dst -- --replay tests/dst_corpus/<case>
 
-use apps::bh_dist::{BhApp, BhWorld};
-use apps::fmm_dist::{FmmEvalApp, FmmM2lApp, FmmWorld};
-use apps::relax::{RelaxApp, RelaxWorld};
-use bench::{bh_world_sized, fmm_world_sized, has_flag, json};
+use bench::dst::{
+    agg_factors, check_run, corpus_write, plan_for, replay, run_one, schedule_seed, Worlds,
+    ALL_PLANS, SMOKE_PLANS, WORKLOADS,
+};
+use bench::{has_flag, json};
 use dpa_core::invariant::{check_completed, check_conservation, NodeSnapshot};
-use dpa_core::synth::{SynthApp, SynthParams, SynthWorld};
+use dpa_core::synth::SynthApp;
 use dpa_core::{run_phase_dst, DpaConfig, DstOptions};
-use nbody::fmm::Local;
-use sim_net::{FaultPlan, NetConfig, RunReport};
-use std::collections::HashMap;
-use std::sync::Arc;
-
-/// Extra per-delivery jitter used whenever a schedule seed is set, ns.
-const JITTER_NS: u64 = 2_000;
-/// Relative tolerance for floating-point digests across schedules (the
-/// reduction order differs, so bits may not).
-const FP_RTOL: f64 = 1e-9;
-
-// ---------------------------------------------------------------- digests
-
-/// A workload's result, in comparable form.
-#[derive(Clone, Debug)]
-enum Digest {
-    /// Integer checksums: must be bit-identical across schedules.
-    Ints(Vec<u64>),
-    /// Floating-point results: compared with `FP_RTOL`.
-    Floats(Vec<f64>),
-}
-
-impl Digest {
-    /// `None` if equivalent, else a description of the first mismatch.
-    fn diff(&self, other: &Digest) -> Option<String> {
-        match (self, other) {
-            (Digest::Ints(a), Digest::Ints(b)) => {
-                if a.len() != b.len() {
-                    return Some(format!("digest length {} vs {}", a.len(), b.len()));
-                }
-                a.iter().zip(b).position(|(x, y)| x != y).map(|i| {
-                    format!("checksum[{i}]: {:#x} vs {:#x} (must be bit-identical)", a[i], b[i])
-                })
-            }
-            (Digest::Floats(a), Digest::Floats(b)) => {
-                if a.len() != b.len() {
-                    return Some(format!("digest length {} vs {}", a.len(), b.len()));
-                }
-                a.iter().zip(b).position(|(x, y)| {
-                    let scale = x.abs().max(y.abs()).max(1e-300);
-                    (x - y).abs() / scale > FP_RTOL
-                }).map(|i| format!("value[{i}]: {} vs {} (rtol {FP_RTOL})", a[i], b[i]))
-            }
-            _ => Some("digest kind mismatch".to_string()),
-        }
-    }
-}
-
-// ---------------------------------------------------------------- workloads
-
-/// Pre-built worlds (deterministic; shared by every run).
-struct Worlds {
-    synth: Arc<SynthWorld>,
-    bh: Arc<BhWorld>,
-    fmm: Arc<FmmWorld>,
-    relax: Arc<RelaxWorld>,
-}
-
-impl Worlds {
-    fn build() -> Worlds {
-        Worlds {
-            synth: SynthWorld::build(SynthParams {
-                nodes: 4,
-                lists_per_node: 8,
-                list_len: 14,
-                remote_fraction: 0.5,
-                shared_fraction: 0.4,
-                ..SynthParams::default()
-            }),
-            bh: bh_world_sized(192, 4),
-            fmm: fmm_world_sized(256, 8, 4),
-            relax: RelaxWorld::build(96, 4, 4, 0.5, 0xDE7),
-        }
-    }
-}
-
-/// Everything the checkers need from one run.
-struct Outcome {
-    completed: bool,
-    dropped: u64,
-    digest: Digest,
-    snaps: Vec<NodeSnapshot>,
-    stalls: String,
-}
-
-fn net_for(opts: &DstOptions) -> NetConfig {
-    NetConfig {
-        jitter_ns: if opts.schedule_seed.is_some() { JITTER_NS } else { 0 },
-        ..NetConfig::default()
-    }
-}
-
-fn merge(report: &RunReport, mut snaps: Vec<NodeSnapshot>, extra: (RunReport, Vec<NodeSnapshot>))
-    -> (bool, u64, Vec<NodeSnapshot>, String)
-{
-    let (r2, s2) = extra;
-    snaps.extend(s2);
-    let stalls = [report.stall_summary(), r2.stall_summary()]
-        .iter()
-        .filter(|s| !s.is_empty())
-        .cloned()
-        .collect::<Vec<_>>()
-        .join("; ");
-    (
-        report.completed && r2.completed,
-        report.stats.dropped_packets + r2.stats.dropped_packets,
-        snaps,
-        stalls,
-    )
-}
-
-fn run_one(w: &Worlds, workload: &str, opts: &DstOptions) -> Outcome {
-    let net = net_for(opts);
-    match workload {
-        "synth-dpa" | "synth-caching" => {
-            let cfg = if workload == "synth-dpa" {
-                DpaConfig::dpa(4)
-            } else {
-                DpaConfig::caching()
-            };
-            let world = w.synth.clone();
-            let mut sums = vec![0u64; world.nodes as usize];
-            let (report, snaps) = run_phase_dst(
-                world.nodes,
-                net,
-                cfg,
-                opts,
-                |i| SynthApp::new(world.clone(), i, 500),
-                |i, app: &SynthApp| sums[i as usize] = app.sum,
-            );
-            Outcome {
-                completed: report.completed,
-                dropped: report.stats.dropped_packets,
-                digest: Digest::Ints(sums),
-                stalls: report.stall_summary(),
-                snaps,
-            }
-        }
-        "bh" => {
-            let world = w.bh.clone();
-            let n = world.bodies.len();
-            let mut accel = vec![0.0f64; 3 * n];
-            let (report, snaps) = run_phase_dst(
-                world.nodes,
-                net,
-                DpaConfig::dpa(8),
-                opts,
-                |i| BhApp::new(world.clone(), i),
-                |i, app: &BhApp| {
-                    let base = world.splits[i as usize];
-                    for (off, a) in app.accel.iter().enumerate() {
-                        let at = 3 * (base + off);
-                        accel[at] = a.x;
-                        accel[at + 1] = a.y;
-                        accel[at + 2] = a.z;
-                    }
-                },
-            );
-            Outcome {
-                completed: report.completed,
-                dropped: report.stats.dropped_packets,
-                digest: Digest::Floats(accel),
-                stalls: report.stall_summary(),
-                snaps,
-            }
-        }
-        "fmm" => {
-            let world = w.fmm.clone();
-            // Sub-phase 1: M2L gather.
-            let mut partials: Vec<HashMap<u32, Local>> =
-                (0..world.nodes).map(|_| HashMap::new()).collect();
-            let (r1, s1) = run_phase_dst(
-                world.nodes,
-                net.clone(),
-                DpaConfig::dpa(8),
-                opts,
-                |i| FmmM2lApp::new(world.clone(), i),
-                |i, app: &FmmM2lApp| partials[i as usize] = app.locals.clone(),
-            );
-            if !r1.completed {
-                // Phase 2 input is incomplete; report the phase-1 stall.
-                return Outcome {
-                    completed: false,
-                    dropped: r1.stats.dropped_packets,
-                    digest: Digest::Floats(Vec::new()),
-                    stalls: r1.stall_summary(),
-                    snaps: s1,
-                };
-            }
-            // Sub-phase 2: downward + evaluation.
-            let n = world.solver.zs.len();
-            let mut fields = vec![0.0f64; 2 * n];
-            let mut partials_iter = partials.into_iter();
-            let extra = run_phase_dst(
-                world.nodes,
-                net,
-                DpaConfig::dpa(8),
-                opts,
-                |i| {
-                    let part = partials_iter.next().expect("one partial per node");
-                    FmmEvalApp::new(world.clone(), i, part)
-                },
-                |_, app: &FmmEvalApp| {
-                    for (i, f) in app.fields.iter().enumerate() {
-                        if f.norm2() != 0.0 {
-                            fields[2 * i] += f.re;
-                            fields[2 * i + 1] += f.im;
-                        }
-                    }
-                },
-            );
-            let (completed, dropped, snaps, stalls) = merge(&r1, s1, extra);
-            Outcome {
-                completed,
-                dropped,
-                digest: Digest::Floats(fields),
-                snaps,
-                stalls,
-            }
-        }
-        "relax" => {
-            let world = w.relax.clone();
-            let n = world.vertices.len();
-            let mut next = vec![0.0f64; n];
-            let (report, snaps) = run_phase_dst(
-                world.nodes,
-                net,
-                DpaConfig::dpa(8),
-                opts,
-                |i| RelaxApp::new(world.clone(), i),
-                |i, app: &RelaxApp| {
-                    for v in world.range(i) {
-                        next[v] = app.next[v];
-                    }
-                },
-            );
-            Outcome {
-                completed: report.completed,
-                dropped: report.stats.dropped_packets,
-                digest: Digest::Floats(next),
-                stalls: report.stall_summary(),
-                snaps,
-            }
-        }
-        other => panic!("unknown workload {other:?}"),
-    }
-}
-
-// ---------------------------------------------------------------- plans
-
-const ALL_PLANS: &[&str] = &["none", "drop", "dup", "delay"];
-const SMOKE_PLANS: &[&str] = &["none", "drop"];
-const WORKLOADS: &[&str] = &["synth-dpa", "synth-caching", "bh", "fmm", "relax"];
-
-fn plan_for(name: &str, seed: u64) -> FaultPlan {
-    let fs = seed ^ 0xFA17;
-    match name {
-        "none" => FaultPlan::none(),
-        "drop" => FaultPlan::drop(fs, 0.02),
-        "dup" => FaultPlan::duplicate(fs, 0.10),
-        "delay" => FaultPlan::delay(fs, 0.30, 50_000),
-        other => panic!("unknown plan {other:?}"),
-    }
-}
-
-fn schedule_seed(seed: u64) -> u64 {
-    0x5EED ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
-
-/// Check one perturbed run against its baseline; returns violation strings.
-fn check_run(plan_name: &str, baseline: &Digest, out: &Outcome) -> Vec<String> {
-    let lossy = plan_name == "drop";
-    let mut violations = Vec::new();
-    if out.completed {
-        for v in check_completed(&out.snaps, lossy) {
-            violations.push(v.to_string());
-        }
-        // A completed run that dropped nothing must agree with the
-        // baseline; with packets actually lost, only fire-and-forget
-        // updates can be missing (anything else would have stalled), so
-        // the digest legitimately differs and conservation (checked
-        // above) is the oracle instead.
-        if out.dropped == 0 {
-            if let Some(d) = baseline.diff(&out.digest) {
-                violations.push(format!("result diverged from baseline: {d}"));
-            }
-        }
-    } else {
-        for v in check_conservation(&out.snaps) {
-            violations.push(v.to_string());
-        }
-        if !lossy {
-            violations.push(format!(
-                "stalled under lossless plan '{plan_name}': {}",
-                out.stalls
-            ));
-        } else if out.stalls.is_empty() {
-            violations.push("stalled without a stall diagnosis".to_string());
-        }
-    }
-    violations
-}
-
-// ---------------------------------------------------------------- corpus
-
-const CORPUS_DIR: &str = "tests/dst_corpus";
-
-fn corpus_write(workload: &str, seed: u64, plan: &str, violations: &[String]) -> String {
-    let _ = std::fs::create_dir_all(CORPUS_DIR);
-    let path = format!("{CORPUS_DIR}/{workload}-s{seed}-{plan}.case");
-    let mut body = String::new();
-    body.push_str("# dst failing case — replay with:\n");
-    body.push_str(&format!(
-        "#   cargo run --release -p bench --bin dst -- --replay {path}\n"
-    ));
-    body.push_str(&format!("workload = {workload}\nseed = {seed}\nplan = {plan}\n"));
-    for v in violations {
-        body.push_str(&format!("# violation: {v}\n"));
-    }
-    let _ = std::fs::write(&path, body);
-    path
-}
-
-fn replay(path: &str) -> i32 {
-    let body = match std::fs::read_to_string(path) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("error: cannot read corpus case {path}: {e}");
-            return 2;
-        }
-    };
-    let mut fields: HashMap<String, String> = HashMap::new();
-    for line in body.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if let Some((k, v)) = line.split_once('=') {
-            fields.insert(k.trim().to_string(), v.trim().to_string());
-        }
-    }
-    let Some(workload) = fields.get("workload") else {
-        eprintln!("error: {path}: missing `workload = ...` line");
-        return 2;
-    };
-    if !WORKLOADS.contains(&workload.as_str()) {
-        eprintln!("error: {path}: unknown workload {workload:?} (expected one of {WORKLOADS:?})");
-        return 2;
-    }
-    let seed: u64 = match fields.get("seed").map(|s| s.parse()) {
-        Some(Ok(s)) => s,
-        Some(Err(e)) => {
-            eprintln!("error: {path}: bad seed: {e}");
-            return 2;
-        }
-        None => {
-            eprintln!("error: {path}: missing `seed = ...` line");
-            return 2;
-        }
-    };
-    let Some(plan) = fields.get("plan") else {
-        eprintln!("error: {path}: missing `plan = ...` line");
-        return 2;
-    };
-    if !ALL_PLANS.contains(&plan.as_str()) {
-        eprintln!("error: {path}: unknown plan {plan:?} (expected one of {ALL_PLANS:?})");
-        return 2;
-    }
-
-    println!("replaying {workload} seed={seed} plan={plan}");
-    let w = Worlds::build();
-    let baseline = run_one(&w, workload, &DstOptions::default());
-    let opts = DstOptions {
-        schedule_seed: Some(schedule_seed(seed)),
-        faults: plan_for(plan, seed),
-    };
-    let out = run_one(&w, workload, &opts);
-    println!(
-        "  completed={} dropped={} stalls=[{}]",
-        out.completed, out.dropped, out.stalls
-    );
-    let violations = check_run(plan, &baseline.digest, &out);
-    if violations.is_empty() {
-        println!("  no violations — case no longer reproduces");
-        0
-    } else {
-        for v in &violations {
-            println!("  VIOLATION: {v}");
-        }
-        1
-    }
-}
+use sim_net::{FaultPlan, NetConfig};
 
 // ---------------------------------------------------------------- demo
 
@@ -500,6 +113,8 @@ struct PlanRow {
     completed: u64,
     stalled: u64,
     violations: u64,
+    /// Per-path aggregation factors over every snapshot in this row.
+    agg: (f64, f64, f64),
 }
 
 const USAGE: &str = "usage: dst [--smoke | --quick | --replay <case-file>]
@@ -553,7 +168,9 @@ fn main() {
                 completed: 0,
                 stalled: 0,
                 violations: 0,
+                agg: (0.0, 0.0, 0.0),
             };
+            let mut row_snaps: Vec<NodeSnapshot> = Vec::new();
             for seed in 0..seeds {
                 let opts = DstOptions {
                     schedule_seed: Some(schedule_seed(seed)),
@@ -573,10 +190,14 @@ fn main() {
                     eprintln!("  [corpus case written: {path}]");
                     failures.push((workload.to_string(), seed, plan_name.to_string(), violations));
                 }
+                row_snaps.extend(out.snaps);
             }
+            row.agg = agg_factors(&row_snaps);
             println!(
-                "{:14} {:6} runs {:3}  completed {:3}  stalled {:3}  violations {}",
-                row.workload, row.plan, row.runs, row.completed, row.stalled, row.violations
+                "{:14} {:6} runs {:3}  completed {:3}  stalled {:3}  violations {}  \
+                 agg req/reply/upd {:.2}/{:.2}/{:.2}",
+                row.workload, row.plan, row.runs, row.completed, row.stalled, row.violations,
+                row.agg.0, row.agg.1, row.agg.2
             );
             rows.push(row);
         }
@@ -592,14 +213,18 @@ fn main() {
             .map(|r| {
                 format!(
                     "  {{\"workload\": {}, \"plan\": {}, \"seeds\": {}, \"runs\": {}, \
-                     \"completed\": {}, \"stalled\": {}, \"violations\": {}}}",
+                     \"completed\": {}, \"stalled\": {}, \"violations\": {}, \
+                     \"req_agg_factor\": {}, \"reply_agg_factor\": {}, \"upd_agg_factor\": {}}}",
                     json::string(&r.workload),
                     json::string(&r.plan),
                     seeds,
                     r.runs,
                     r.completed,
                     r.stalled,
-                    r.violations
+                    r.violations,
+                    json::number(r.agg.0),
+                    json::number(r.agg.1),
+                    json::number(r.agg.2)
                 )
             })
             .collect();

@@ -11,20 +11,33 @@
 //! pipelining converts idle into overlap; aggregation then shrinks the
 //! communication-overhead band; speedups rise along the ladder.
 //!
-//! Run with `--quick` for a reduced problem size.
+//! Run with `--quick` for a reduced problem size, or `--smoke` for a
+//! CI-sized sanity run (tiny worlds, P ∈ {4, 16}).
 
 use apps::driver::{merge_stats, run_bh, run_fmm};
 use bench::*;
 use dpa_core::DpaConfig;
+use sim_net::RunStats;
+
+/// Attach the per-path aggregation factors (wire entries per message on
+/// the request, reply, and update paths) to an experiment point.
+fn with_agg_factors(pt: ExpPoint, s: &RunStats) -> ExpPoint {
+    pt.with("req_agg_factor", s.user_ratio("request_entries", "request_msgs"))
+        .with("reply_agg_factor", s.user_ratio("reply_entries", "reply_msgs"))
+        .with("upd_agg_factor", s.user_ratio("update_entries", "update_msgs"))
+}
 
 fn main() {
     let quick = has_flag("--quick");
-    let (bh_n, fmm_n, fmm_p) = if quick {
+    let smoke = has_flag("--smoke");
+    let (bh_n, fmm_n, fmm_p) = if smoke {
+        (512, 1_024, 8)
+    } else if quick {
         (2_048, 4_096, 12)
     } else {
         (PAPER_BH_BODIES, PAPER_FMM_PARTICLES, PAPER_FMM_TERMS)
     };
-    let procs: &[u16] = if quick { &[4, 16] } else { &[4, 16, 64] };
+    let procs: &[u16] = if quick || smoke { &[4, 16] } else { &[4, 16, 64] };
     let ladder = [
         ("Base     ", DpaConfig::dpa_base(50)),
         ("+Pipeline", DpaConfig::dpa_pipeline(50)),
@@ -52,10 +65,11 @@ fn main() {
                 ascii_bar(l, o, i, 30),
                 r.stats.total_msgs()
             );
-            points.push(
+            points.push(with_agg_factors(
                 ExpPoint::new("fig_breakdown", "bh", label.trim(), p, r.makespan_ns, &r.stats)
                     .with("speedup", speedup),
-            );
+                &r.stats,
+            ));
         }
     }
 
@@ -78,10 +92,11 @@ fn main() {
                 ascii_bar(l, o, i, 30),
                 merged.total_msgs()
             );
-            points.push(
+            points.push(with_agg_factors(
                 ExpPoint::new("fig_breakdown", "fmm", label.trim(), p, r.makespan_ns, &merged)
                     .with("speedup", speedup),
-            );
+                &merged,
+            ));
         }
     }
 

@@ -22,6 +22,15 @@
 use apps::driver::{merge_stats, run_bh, run_fmm};
 use bench::*;
 use dpa_core::DpaConfig;
+use sim_net::RunStats;
+
+/// Attach the per-path aggregation factors (wire entries per message on
+/// the request, reply, and update paths) to an experiment point.
+fn with_agg_factors(pt: ExpPoint, s: &RunStats) -> ExpPoint {
+    pt.with("req_agg_factor", s.user_ratio("request_entries", "request_msgs"))
+        .with("reply_agg_factor", s.user_ratio("reply_entries", "reply_msgs"))
+        .with("upd_agg_factor", s.user_ratio("update_entries", "update_msgs"))
+}
 
 fn main() {
     let quick = has_flag("--quick");
@@ -73,10 +82,11 @@ fn main() {
             let ns = r.makespan_ns * PAPER_BH_STEPS;
             row.push_str(&fmt_secs(ns));
             row.push(' ');
-            points.push(
+            points.push(with_agg_factors(
                 ExpPoint::new("table1", "bh", label.trim(), p, ns, &r.stats)
                     .with("speedup_vs_seq", bh_seq as f64 / ns as f64),
-            );
+                &r.stats,
+            ));
         }
         println!("{row}");
     }
@@ -94,10 +104,11 @@ fn main() {
             row.push_str(&fmt_secs(r.makespan_ns));
             row.push(' ');
             let merged = merge_stats(&r.m2l_stats, &r.eval_stats);
-            points.push(
+            points.push(with_agg_factors(
                 ExpPoint::new("table1", "fmm", label.trim(), p, r.makespan_ns, &merged)
                     .with("speedup_vs_seq", fmm_seq as f64 / r.makespan_ns as f64),
-            );
+                &merged,
+            ));
         }
         println!("{row}");
     }

@@ -26,13 +26,19 @@ fn print_runtime_rows(app: &str, strip: usize, s: &RunStats, points: &mut Vec<Ex
     row("reply messages", s.user_total("reply_msgs"));
     row("thread-state peak bytes/node", s.user_max("thread_state_peak_bytes"));
     row("renamed peak bytes/node", s.user_max("renamed_peak_bytes"));
-    let agg = s.user_max("agg_factor_milli") as f64 / 1000.0;
-    println!("    {:<28} {agg:>12.2}", "aggregation factor (max)");
+    let req_agg = s.user_ratio("request_entries", "request_msgs");
+    let reply_agg = s.user_ratio("reply_entries", "reply_msgs");
+    let upd_agg = s.user_ratio("update_entries", "update_msgs");
+    println!("    {:<28} {req_agg:>12.2}", "request agg factor");
+    println!("    {:<28} {reply_agg:>12.2}", "reply agg factor");
+    println!("    {:<28} {upd_agg:>12.2}", "update agg factor");
     points.push(
         ExpPoint::new("table_thread_stats", app, &format!("strip={strip}"), p, ns, s)
             .with("peak_aligned", s.user_max("peak_aligned_threads") as f64)
             .with("peak_pending", s.user_max("peak_pending_requests") as f64)
-            .with("agg_factor", agg),
+            .with("req_agg_factor", req_agg)
+            .with("reply_agg_factor", reply_agg)
+            .with("upd_agg_factor", upd_agg),
     );
 }
 

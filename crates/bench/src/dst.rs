@@ -1,0 +1,494 @@
+//! Deterministic-simulation-testing machinery shared by the `dst` binary
+//! and the committed-corpus regression tests.
+//!
+//! Every run is a pure function of `(workload, schedule seed, fault plan)`,
+//! so any failure is replayable bit-for-bit. This module owns the pieces
+//! the sweep and the replayers both need: the pre-built worlds, the digest
+//! comparison rules, the per-run invariant checks, and the corpus case
+//! file format (`workload = ... / seed = ... / plan = ...`).
+
+use apps::bh_dist::{BhApp, BhWorld};
+use apps::fmm_dist::{FmmEvalApp, FmmM2lApp, FmmWorld};
+use apps::relax::{RelaxApp, RelaxWorld};
+use crate::{bh_world_sized, fmm_world_sized};
+use dpa_core::invariant::{check_completed, check_conservation, NodeSnapshot};
+use dpa_core::synth::{SynthApp, SynthParams, SynthWorld};
+use dpa_core::{run_phase_dst, DpaConfig, DstOptions};
+use nbody::fmm::Local;
+use sim_net::{FaultPlan, NetConfig, RunReport};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Extra per-delivery jitter used whenever a schedule seed is set, ns.
+pub const JITTER_NS: u64 = 2_000;
+/// Relative tolerance for floating-point digests across schedules (the
+/// reduction order differs, so bits may not).
+pub const FP_RTOL: f64 = 1e-9;
+/// Every fault-plan name the sweep explores.
+pub const ALL_PLANS: &[&str] = &["none", "drop", "dup", "delay"];
+/// The CI-sized subset of fault plans.
+pub const SMOKE_PLANS: &[&str] = &["none", "drop"];
+/// Every workload name the sweep explores.
+pub const WORKLOADS: &[&str] = &["synth-dpa", "synth-caching", "bh", "fmm", "relax"];
+/// Where failing cases are recorded, relative to the repository root.
+pub const CORPUS_DIR: &str = "tests/dst_corpus";
+
+// ---------------------------------------------------------------- digests
+
+/// A workload's result, in comparable form.
+#[derive(Clone, Debug)]
+pub enum Digest {
+    /// Integer checksums: must be bit-identical across schedules.
+    Ints(Vec<u64>),
+    /// Floating-point results: compared with [`FP_RTOL`].
+    Floats(Vec<f64>),
+}
+
+impl Digest {
+    /// `None` if equivalent, else a description of the first mismatch.
+    pub fn diff(&self, other: &Digest) -> Option<String> {
+        match (self, other) {
+            (Digest::Ints(a), Digest::Ints(b)) => {
+                if a.len() != b.len() {
+                    return Some(format!("digest length {} vs {}", a.len(), b.len()));
+                }
+                a.iter().zip(b).position(|(x, y)| x != y).map(|i| {
+                    format!("checksum[{i}]: {:#x} vs {:#x} (must be bit-identical)", a[i], b[i])
+                })
+            }
+            (Digest::Floats(a), Digest::Floats(b)) => {
+                if a.len() != b.len() {
+                    return Some(format!("digest length {} vs {}", a.len(), b.len()));
+                }
+                a.iter().zip(b).position(|(x, y)| {
+                    let scale = x.abs().max(y.abs()).max(1e-300);
+                    (x - y).abs() / scale > FP_RTOL
+                }).map(|i| format!("value[{i}]: {} vs {} (rtol {FP_RTOL})", a[i], b[i]))
+            }
+            _ => Some("digest kind mismatch".to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- workloads
+
+/// Pre-built worlds (deterministic; shared by every run).
+pub struct Worlds {
+    /// Synthetic pointer-chasing lists.
+    pub synth: Arc<SynthWorld>,
+    /// Small distributed Barnes-Hut instance.
+    pub bh: Arc<BhWorld>,
+    /// Small distributed FMM instance.
+    pub fmm: Arc<FmmWorld>,
+    /// Small graph-relaxation instance.
+    pub relax: Arc<RelaxWorld>,
+}
+
+impl Worlds {
+    /// Build the standard DST worlds.
+    pub fn build() -> Worlds {
+        Worlds {
+            synth: SynthWorld::build(SynthParams {
+                nodes: 4,
+                lists_per_node: 8,
+                list_len: 14,
+                remote_fraction: 0.5,
+                shared_fraction: 0.4,
+                ..SynthParams::default()
+            }),
+            bh: bh_world_sized(192, 4),
+            fmm: fmm_world_sized(256, 8, 4),
+            relax: RelaxWorld::build(96, 4, 4, 0.5, 0xDE7),
+        }
+    }
+}
+
+/// Everything the checkers need from one run.
+pub struct Outcome {
+    /// Whether every node reached quiescence.
+    pub completed: bool,
+    /// Packets lost to fault injection.
+    pub dropped: u64,
+    /// The workload's comparable result.
+    pub digest: Digest,
+    /// Per-node runtime-state snapshots.
+    pub snaps: Vec<NodeSnapshot>,
+    /// Stall diagnoses ("" when none).
+    pub stalls: String,
+}
+
+/// Network config for a run: jitter only when the schedule is perturbed.
+pub fn net_for(opts: &DstOptions) -> NetConfig {
+    NetConfig {
+        jitter_ns: if opts.schedule_seed.is_some() { JITTER_NS } else { 0 },
+        ..NetConfig::default()
+    }
+}
+
+fn merge(report: &RunReport, mut snaps: Vec<NodeSnapshot>, extra: (RunReport, Vec<NodeSnapshot>))
+    -> (bool, u64, Vec<NodeSnapshot>, String)
+{
+    let (r2, s2) = extra;
+    snaps.extend(s2);
+    let stalls = [report.stall_summary(), r2.stall_summary()]
+        .iter()
+        .filter(|s| !s.is_empty())
+        .cloned()
+        .collect::<Vec<_>>()
+        .join("; ");
+    (
+        report.completed && r2.completed,
+        report.stats.dropped_packets + r2.stats.dropped_packets,
+        snaps,
+        stalls,
+    )
+}
+
+/// Execute one `(workload, options)` run and collect its outcome.
+///
+/// Panics on an unknown workload name; use [`WORKLOADS`] to validate.
+pub fn run_one(w: &Worlds, workload: &str, opts: &DstOptions) -> Outcome {
+    let net = net_for(opts);
+    match workload {
+        "synth-dpa" | "synth-caching" => {
+            let cfg = if workload == "synth-dpa" {
+                DpaConfig::dpa(4)
+            } else {
+                DpaConfig::caching()
+            };
+            let world = w.synth.clone();
+            let mut sums = vec![0u64; world.nodes as usize];
+            let (report, snaps) = run_phase_dst(
+                world.nodes,
+                net,
+                cfg,
+                opts,
+                |i| SynthApp::new(world.clone(), i, 500),
+                |i, app: &SynthApp| sums[i as usize] = app.sum,
+            );
+            Outcome {
+                completed: report.completed,
+                dropped: report.stats.dropped_packets,
+                digest: Digest::Ints(sums),
+                stalls: report.stall_summary(),
+                snaps,
+            }
+        }
+        "bh" => {
+            let world = w.bh.clone();
+            let n = world.bodies.len();
+            let mut accel = vec![0.0f64; 3 * n];
+            let (report, snaps) = run_phase_dst(
+                world.nodes,
+                net,
+                DpaConfig::dpa(8),
+                opts,
+                |i| BhApp::new(world.clone(), i),
+                |i, app: &BhApp| {
+                    let base = world.splits[i as usize];
+                    for (off, a) in app.accel.iter().enumerate() {
+                        let at = 3 * (base + off);
+                        accel[at] = a.x;
+                        accel[at + 1] = a.y;
+                        accel[at + 2] = a.z;
+                    }
+                },
+            );
+            Outcome {
+                completed: report.completed,
+                dropped: report.stats.dropped_packets,
+                digest: Digest::Floats(accel),
+                stalls: report.stall_summary(),
+                snaps,
+            }
+        }
+        "fmm" => {
+            let world = w.fmm.clone();
+            // Sub-phase 1: M2L gather.
+            let mut partials: Vec<HashMap<u32, Local>> =
+                (0..world.nodes).map(|_| HashMap::new()).collect();
+            let (r1, s1) = run_phase_dst(
+                world.nodes,
+                net.clone(),
+                DpaConfig::dpa(8),
+                opts,
+                |i| FmmM2lApp::new(world.clone(), i),
+                |i, app: &FmmM2lApp| partials[i as usize] = app.locals.clone(),
+            );
+            if !r1.completed {
+                // Phase 2 input is incomplete; report the phase-1 stall.
+                return Outcome {
+                    completed: false,
+                    dropped: r1.stats.dropped_packets,
+                    digest: Digest::Floats(Vec::new()),
+                    stalls: r1.stall_summary(),
+                    snaps: s1,
+                };
+            }
+            // Sub-phase 2: downward + evaluation.
+            let n = world.solver.zs.len();
+            let mut fields = vec![0.0f64; 2 * n];
+            let mut partials_iter = partials.into_iter();
+            let extra = run_phase_dst(
+                world.nodes,
+                net,
+                DpaConfig::dpa(8),
+                opts,
+                |i| {
+                    let part = partials_iter.next().expect("one partial per node");
+                    FmmEvalApp::new(world.clone(), i, part)
+                },
+                |_, app: &FmmEvalApp| {
+                    for (i, f) in app.fields.iter().enumerate() {
+                        if f.norm2() != 0.0 {
+                            fields[2 * i] += f.re;
+                            fields[2 * i + 1] += f.im;
+                        }
+                    }
+                },
+            );
+            let (completed, dropped, snaps, stalls) = merge(&r1, s1, extra);
+            Outcome {
+                completed,
+                dropped,
+                digest: Digest::Floats(fields),
+                snaps,
+                stalls,
+            }
+        }
+        "relax" => {
+            let world = w.relax.clone();
+            let n = world.vertices.len();
+            let mut next = vec![0.0f64; n];
+            let (report, snaps) = run_phase_dst(
+                world.nodes,
+                net,
+                DpaConfig::dpa(8),
+                opts,
+                |i| RelaxApp::new(world.clone(), i),
+                |i, app: &RelaxApp| {
+                    for v in world.range(i) {
+                        next[v] = app.next[v];
+                    }
+                },
+            );
+            Outcome {
+                completed: report.completed,
+                dropped: report.stats.dropped_packets,
+                digest: Digest::Floats(next),
+                stalls: report.stall_summary(),
+                snaps,
+            }
+        }
+        other => panic!("unknown workload {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------- plans
+
+/// Build the named fault plan, derived deterministically from `seed`.
+///
+/// Panics on an unknown plan name; use [`ALL_PLANS`] to validate.
+pub fn plan_for(name: &str, seed: u64) -> FaultPlan {
+    let fs = seed ^ 0xFA17;
+    match name {
+        "none" => FaultPlan::none(),
+        "drop" => FaultPlan::drop(fs, 0.02),
+        "dup" => FaultPlan::duplicate(fs, 0.10),
+        "delay" => FaultPlan::delay(fs, 0.30, 50_000),
+        other => panic!("unknown plan {other:?}"),
+    }
+}
+
+/// Map a sweep seed to a schedule-perturbation seed.
+pub fn schedule_seed(seed: u64) -> u64 {
+    0x5EED ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Check one perturbed run against its baseline; returns violation strings.
+pub fn check_run(plan_name: &str, baseline: &Digest, out: &Outcome) -> Vec<String> {
+    let lossy = plan_name == "drop";
+    let mut violations = Vec::new();
+    if out.completed {
+        for v in check_completed(&out.snaps, lossy) {
+            violations.push(v.to_string());
+        }
+        // A completed run that dropped nothing must agree with the
+        // baseline; with packets actually lost, only fire-and-forget
+        // updates can be missing (anything else would have stalled), so
+        // the digest legitimately differs and conservation (checked
+        // above) is the oracle instead.
+        if out.dropped == 0 {
+            if let Some(d) = baseline.diff(&out.digest) {
+                violations.push(format!("result diverged from baseline: {d}"));
+            }
+        }
+    } else {
+        for v in check_conservation(&out.snaps) {
+            violations.push(v.to_string());
+        }
+        if !lossy {
+            violations.push(format!(
+                "stalled under lossless plan '{plan_name}': {}",
+                out.stalls
+            ));
+        } else if out.stalls.is_empty() {
+            violations.push("stalled without a stall diagnosis".to_string());
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------- accounting
+
+/// Machine-wide (request, reply, update) aggregation factors — wire
+/// entries per message on each path — computed from run snapshots. A path
+/// that sent no messages reports 0.
+pub fn agg_factors(snaps: &[NodeSnapshot]) -> (f64, f64, f64) {
+    let ratio = |entries: u64, msgs: u64| {
+        if msgs == 0 { 0.0 } else { entries as f64 / msgs as f64 }
+    };
+    let sum = |f: &dyn Fn(&NodeSnapshot) -> u64| snaps.iter().map(f).sum::<u64>();
+    (
+        ratio(sum(&|s| s.req_sent), sum(&|s| s.request_msgs)),
+        ratio(sum(&|s| s.reply_sent), sum(&|s| s.reply_msgs)),
+        ratio(sum(&|s| s.upd_sent), sum(&|s| s.update_msgs)),
+    )
+}
+
+// ---------------------------------------------------------------- corpus
+
+/// Record a failing case as a replayable corpus file; returns its path.
+pub fn corpus_write(workload: &str, seed: u64, plan: &str, violations: &[String]) -> String {
+    let _ = std::fs::create_dir_all(CORPUS_DIR);
+    let path = format!("{CORPUS_DIR}/{workload}-s{seed}-{plan}.case");
+    let mut body = String::new();
+    body.push_str("# dst failing case — replay with:\n");
+    body.push_str(&format!(
+        "#   cargo run --release -p bench --bin dst -- --replay {path}\n"
+    ));
+    body.push_str(&format!("workload = {workload}\nseed = {seed}\nplan = {plan}\n"));
+    for v in violations {
+        body.push_str(&format!("# violation: {v}\n"));
+    }
+    let _ = std::fs::write(&path, body);
+    path
+}
+
+/// Re-run one recorded corpus case.
+///
+/// Returns 0 when the case no longer reproduces, 1 when it still violates
+/// an invariant, 2 on a malformed case file.
+pub fn replay(path: &str) -> i32 {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read corpus case {path}: {e}");
+            return 2;
+        }
+    };
+    let mut fields: HashMap<String, String> = HashMap::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            fields.insert(k.trim().to_string(), v.trim().to_string());
+        }
+    }
+    let Some(workload) = fields.get("workload") else {
+        eprintln!("error: {path}: missing `workload = ...` line");
+        return 2;
+    };
+    if !WORKLOADS.contains(&workload.as_str()) {
+        eprintln!("error: {path}: unknown workload {workload:?} (expected one of {WORKLOADS:?})");
+        return 2;
+    }
+    let seed: u64 = match fields.get("seed").map(|s| s.parse()) {
+        Some(Ok(s)) => s,
+        Some(Err(e)) => {
+            eprintln!("error: {path}: bad seed: {e}");
+            return 2;
+        }
+        None => {
+            eprintln!("error: {path}: missing `seed = ...` line");
+            return 2;
+        }
+    };
+    let Some(plan) = fields.get("plan") else {
+        eprintln!("error: {path}: missing `plan = ...` line");
+        return 2;
+    };
+    if !ALL_PLANS.contains(&plan.as_str()) {
+        eprintln!("error: {path}: unknown plan {plan:?} (expected one of {ALL_PLANS:?})");
+        return 2;
+    }
+
+    println!("replaying {workload} seed={seed} plan={plan}");
+    let w = Worlds::build();
+    let baseline = run_one(&w, workload, &DstOptions::default());
+    let opts = DstOptions {
+        schedule_seed: Some(schedule_seed(seed)),
+        faults: plan_for(plan, seed),
+    };
+    let out = run_one(&w, workload, &opts);
+    println!(
+        "  completed={} dropped={} stalls=[{}]",
+        out.completed, out.dropped, out.stalls
+    );
+    let violations = check_run(plan, &baseline.digest, &out);
+    if violations.is_empty() {
+        println!("  no violations — case no longer reproduces");
+        0
+    } else {
+        for v in &violations {
+            println!("  VIOLATION: {v}");
+        }
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_rules() {
+        let a = Digest::Ints(vec![1, 2]);
+        assert!(a.diff(&Digest::Ints(vec![1, 2])).is_none());
+        assert!(a.diff(&Digest::Ints(vec![1, 3])).is_some());
+        assert!(a.diff(&Digest::Floats(vec![1.0])).is_some());
+        let f = Digest::Floats(vec![1.0]);
+        assert!(f.diff(&Digest::Floats(vec![1.0 + 1e-12])).is_none());
+        assert!(f.diff(&Digest::Floats(vec![1.0 + 1e-6])).is_some());
+    }
+
+    #[test]
+    fn agg_factors_total_across_nodes() {
+        let a = NodeSnapshot {
+            req_sent: 30,
+            request_msgs: 5,
+            reply_sent: 12,
+            reply_msgs: 4,
+            ..NodeSnapshot::default()
+        };
+        let b = NodeSnapshot {
+            req_sent: 10,
+            request_msgs: 5,
+            reply_sent: 4,
+            reply_msgs: 4,
+            ..NodeSnapshot::default()
+        };
+        let (req, reply, upd) = agg_factors(&[a, b]);
+        assert!((req - 4.0).abs() < 1e-12);
+        assert!((reply - 2.0).abs() < 1e-12);
+        assert_eq!(upd, 0.0);
+    }
+
+    #[test]
+    fn schedule_seed_is_injective_on_small_range() {
+        let seeds: std::collections::HashSet<u64> = (0..64).map(schedule_seed).collect();
+        assert_eq!(seeds.len(), 64);
+    }
+}

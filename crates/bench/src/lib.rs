@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dst;
+
 use apps::bh_dist::{BhCost, BhWorld};
 use apps::fmm_dist::{FmmCost, FmmWorld};
 use nbody::bh::BhParams;

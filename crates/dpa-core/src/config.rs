@@ -164,6 +164,20 @@ pub struct DpaConfig {
     /// When `false`, a single batch is sent per quiescence and the node
     /// waits — communication is serialized with computation.
     pub pipeline: bool,
+    /// Reply-path aggregation window: owner-side reply entries per
+    /// destination buffered into one message (also reused by the `Update`
+    /// reduction path). `1` disables reply aggregation — the owner answers
+    /// each request batch immediately and separately, which is how the
+    /// `Base` and `+Pipeline`-only ladder rungs are expressed. Buffered
+    /// replies additionally flush at MTU occupancy, at
+    /// [`reply_flush_deadline_ns`](Self::reply_flush_deadline_ns), and
+    /// unconditionally at poll-quiescence.
+    pub reply_agg_window: usize,
+    /// Deadline for buffered owner-side replies (and batched updates), in
+    /// simulated ns since the first entry was enqueued for a destination.
+    /// Bounds how much latency reply aggregation can add when the owner
+    /// stays busy between poll-quiescence points.
+    pub reply_flush_deadline_ns: u64,
     /// CPU cost model.
     pub cost: CostModel,
     /// Maximum packet payload; longer replies are segmented.
@@ -192,6 +206,11 @@ impl Default for DpaConfig {
             strip_size: 50,
             agg_window: 32,
             pipeline: true,
+            // Half the poll interval: an owner mid-slice coalesces replies
+            // across roughly one poll window without doubling the
+            // requester-visible round trip.
+            reply_agg_window: 32,
+            reply_flush_deadline_ns: 20_000,
             cost: CostModel::default(),
             mtu: Mtu::default(),
             poll_interval_ns: 40_000,
@@ -211,39 +230,46 @@ impl DpaConfig {
         }
     }
 
-    /// DPA with tiling only: no pipelining, no aggregation (the "Base"
-    /// bars of the breakdown figure).
+    /// DPA with tiling only: no pipelining, no aggregation on either path
+    /// (the "Base" bars of the breakdown figure).
     pub fn dpa_base(strip: usize) -> DpaConfig {
         DpaConfig {
             strip_size: strip,
             agg_window: 1,
+            reply_agg_window: 1,
             pipeline: false,
             ..DpaConfig::default()
         }
     }
 
-    /// DPA with pipelining but no aggregation ("+Pipeline").
+    /// DPA with pipelining but no aggregation ("+Pipeline"): requests go
+    /// out one per push and owners answer immediately.
     pub fn dpa_pipeline(strip: usize) -> DpaConfig {
         DpaConfig {
             strip_size: strip,
             agg_window: 1,
+            reply_agg_window: 1,
             pipeline: true,
             ..DpaConfig::default()
         }
     }
 
-    /// The software-caching baseline.
+    /// The software-caching baseline. Owners answer immediately: the
+    /// requester blocks on every miss, so a buffered reply would serialize
+    /// the whole machine behind the flush deadline.
     pub fn caching() -> DpaConfig {
         DpaConfig {
             variant: Variant::Caching,
+            reply_agg_window: 1,
             ..DpaConfig::default()
         }
     }
 
-    /// The naive blocking baseline.
+    /// The naive blocking baseline (immediate replies, like caching).
     pub fn blocking() -> DpaConfig {
         DpaConfig {
             variant: Variant::Blocking,
+            reply_agg_window: 1,
             ..DpaConfig::default()
         }
     }
@@ -261,8 +287,8 @@ impl DpaConfig {
     pub fn describe(&self) -> String {
         match self.variant {
             Variant::Dpa => format!(
-                "DPA(strip={}, agg={}, pipeline={})",
-                self.strip_size, self.agg_window, self.pipeline
+                "DPA(strip={}, agg={}, reply_agg={}, pipeline={})",
+                self.strip_size, self.agg_window, self.reply_agg_window, self.pipeline
             ),
             v => v.label().to_string(),
         }
@@ -278,13 +304,25 @@ mod tests {
         let base = DpaConfig::dpa_base(50);
         assert!(!base.pipeline);
         assert_eq!(base.agg_window, 1);
+        assert_eq!(base.reply_agg_window, 1);
         let pipe = DpaConfig::dpa_pipeline(50);
         assert!(pipe.pipeline);
         assert_eq!(pipe.agg_window, 1);
+        assert_eq!(pipe.reply_agg_window, 1);
         let full = DpaConfig::dpa(50);
         assert!(full.pipeline);
         assert!(full.agg_window > 1);
+        assert!(full.reply_agg_window > 1);
+        assert!(full.reply_flush_deadline_ns > 0);
         assert_eq!(full.strip_size, 50);
+    }
+
+    #[test]
+    fn baselines_reply_immediately() {
+        // The blocking requesters of these variants cannot tolerate a
+        // buffered reply; the presets must pin reply aggregation off.
+        assert_eq!(DpaConfig::caching().reply_agg_window, 1);
+        assert_eq!(DpaConfig::blocking().reply_agg_window, 1);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //!
 //! * at phase end M and D are empty and every buffer is drained;
 //! * every entry pushed into a coalescer is either sent or still buffered
-//!   (nothing silently vanishes inside the runtime);
+//!   (nothing silently vanishes inside the runtime) — separately on the
+//!   request path and on the owner-side reply path, whose scheduler has
+//!   its own buffers;
 //! * every distinct request issued is either installed or still outstanding
 //!   (replies are deduplicated, so duplicated delivery cannot over-install);
 //! * reduction entries are applied **at most once** machine-wide — exactly
@@ -59,6 +61,19 @@ pub struct NodeSnapshot {
     pub upd_sent: u64,
     /// Reduction entries still buffered for sending.
     pub upd_buffered: usize,
+    /// Owner-side reply entries accepted for sending (immediate service or
+    /// pushed into the reply scheduler).
+    pub reply_pushed: u64,
+    /// Owner-side reply entries sent on the wire.
+    pub reply_sent: u64,
+    /// Owner-side reply entries still buffered in the reply scheduler.
+    pub reply_buffered: usize,
+    /// Request messages sent (per-path message accounting).
+    pub request_msgs: u64,
+    /// Reply messages sent.
+    pub reply_msgs: u64,
+    /// Update messages sent.
+    pub update_msgs: u64,
 }
 
 /// One violated invariant, with enough context to act on.
@@ -90,6 +105,8 @@ pub enum Violation {
         req: usize,
         /// Reduction entries left buffered.
         upd: usize,
+        /// Reply entries left buffered in the reply scheduler.
+        reply: usize,
     },
     /// Request entries pushed ≠ sent + buffered: the communication
     /// scheduler lost or invented entries.
@@ -101,6 +118,18 @@ pub enum Violation {
         /// Entries sent on the wire.
         sent: u64,
         /// Entries still buffered.
+        buffered: usize,
+    },
+    /// Owner-side reply entries accepted ≠ sent + buffered: the reply
+    /// scheduler lost or invented entries.
+    ReplyPathLeak {
+        /// Offending node.
+        node: u16,
+        /// Reply entries accepted for sending.
+        pushed: u64,
+        /// Reply entries sent on the wire.
+        sent: u64,
+        /// Reply entries still buffered.
         buffered: usize,
     },
     /// Requests issued ≠ objects installed + still outstanding: a reply
@@ -156,9 +185,23 @@ impl fmt::Display for Violation {
                 "n{node}: D not drained at phase end ({count} outstanding; e.g. {})",
                 sample.join(", ")
             ),
-            Violation::BufferNotDrained { node, req, upd } => write!(
+            Violation::BufferNotDrained {
+                node,
+                req,
+                upd,
+                reply,
+            } => write!(
                 f,
-                "n{node}: coalescer not drained at phase end ({req} request, {upd} update entries)"
+                "n{node}: coalescer not drained at phase end ({req} request, {upd} update, {reply} reply entries)"
+            ),
+            Violation::ReplyPathLeak {
+                node,
+                pushed,
+                sent,
+                buffered,
+            } => write!(
+                f,
+                "n{node}: reply-path conservation broken: accepted {pushed} != sent {sent} + buffered {buffered}"
             ),
             Violation::RequestLeak {
                 node,
@@ -207,6 +250,14 @@ pub fn check_conservation(snaps: &[NodeSnapshot]) -> Vec<Violation> {
                 buffered: s.req_buffered,
             });
         }
+        if s.reply_pushed != s.reply_sent + s.reply_buffered as u64 {
+            out.push(Violation::ReplyPathLeak {
+                node: s.node,
+                pushed: s.reply_pushed,
+                sent: s.reply_sent,
+                buffered: s.reply_buffered,
+            });
+        }
         if s.requests_issued != s.objects_installed + s.pending_requests as u64 {
             out.push(Violation::ReplyLeak {
                 node: s.node,
@@ -248,11 +299,12 @@ pub fn check_completed(snaps: &[NodeSnapshot], lossy: bool) -> Vec<Violation> {
                 sample: s.pending_sample.clone(),
             });
         }
-        if s.req_buffered > 0 || s.upd_buffered > 0 {
+        if s.req_buffered > 0 || s.upd_buffered > 0 || s.reply_buffered > 0 {
             out.push(Violation::BufferNotDrained {
                 node: s.node,
                 req: s.req_buffered,
                 upd: s.upd_buffered,
+                reply: s.reply_buffered,
             });
         }
     }
@@ -285,6 +337,11 @@ mod tests {
             updates_emitted: 4,
             updates_applied: 4,
             upd_sent: 2,
+            reply_pushed: 10,
+            reply_sent: 10,
+            request_msgs: 3,
+            reply_msgs: 2,
+            update_msgs: 1,
             ..NodeSnapshot::default()
         }
     }
@@ -332,6 +389,26 @@ mod tests {
         s.objects_installed = 11; // double-install
         let v = check_conservation(&[s]);
         assert!(matches!(v[0], Violation::ReplyLeak { node: 0, .. }));
+    }
+
+    #[test]
+    fn reply_path_leak_detected() {
+        let mut s = clean(2);
+        s.reply_sent = 8; // 2 entries vanished inside the scheduler
+        let v = check_conservation(&[s]);
+        assert!(matches!(v[0], Violation::ReplyPathLeak { node: 2, .. }));
+        assert!(v[0].to_string().contains("reply-path"));
+        // Balanced by buffered entries, it is conservation-clean again
+        // but must be flagged as undrained on a completed run.
+        let mut s = clean(2);
+        s.reply_sent = 8;
+        s.reply_buffered = 2;
+        assert!(check_conservation(std::slice::from_ref(&s)).is_empty());
+        let v = check_completed(&[s], false);
+        assert!(matches!(
+            v[0],
+            Violation::BufferNotDrained { node: 2, reply: 2, .. }
+        ));
     }
 
     #[test]

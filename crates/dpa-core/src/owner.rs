@@ -2,44 +2,111 @@
 //!
 //! Whichever scheme the *requesting* node runs, the owner's job is the
 //! same: look up each requested object and stream it back, segmenting the
-//! reply at the MTU so large batches pay honest per-packet costs.
+//! reply at the MTU so large batches pay honest per-packet costs. A single
+//! object larger than the MTU cannot be split across [`DpaMsg::Reply`]
+//! entries, so it travels as its own message and the owner is explicitly
+//! charged for every extra packet it occupies ([`charge_extra_packets`]).
+//!
+//! The DPA driver additionally runs a reply-path *scheduler* (see
+//! `proc_dpa`) that buffers reply entries per destination instead of
+//! answering immediately; it shares [`lookup_entries`] and
+//! [`charge_extra_packets`] with the immediate path below so both charge
+//! identically per object and per packet.
 
 use crate::config::DpaConfig;
 use crate::msg::DpaMsg;
 use crate::work::PtrApp;
+use fastmsg::packets_for;
 use global_heap::GPtr;
 use sim_net::{Ctx, NodeId};
 
-/// Service one incoming request batch: charge per-object lookup, then send
-/// one or more MTU-bounded replies to `src`. Returns the number of reply
-/// messages sent.
+/// What one request-service call put on the wire.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ReplyAccounting {
+    /// Reply messages sent.
+    pub msgs: u64,
+    /// Reply entries (objects) sent.
+    pub entries: u64,
+}
+
+/// Charge the overhead of the extra packets a `payload`-byte message
+/// occupies beyond the first: `Ctx::send` charges one send overhead plus
+/// per-byte gap for one header, so a k-packet message owes `(k-1)` more of
+/// each. Zero for any payload within the MTU — applied uniformly so every
+/// reply path pays the same honest per-packet cost.
+pub(crate) fn charge_extra_packets(cfg: &DpaConfig, ctx: &mut Ctx<'_, DpaMsg>, payload: u32) {
+    let packets = packets_for(payload, cfg.mtu) as u64;
+    if packets > 1 {
+        let net = ctx.net();
+        let per_packet = net.send_overhead_ns + net.gap_ns_per_byte * net.header_bytes as u64;
+        ctx.charge_overhead((packets - 1) * per_packet);
+    }
+}
+
+/// Charge per-object lookup and resolve `ptrs` to `(pointer, size)` reply
+/// entries.
+pub(crate) fn lookup_entries<A: PtrApp>(
+    app: &A,
+    cfg: &DpaConfig,
+    ctx: &mut Ctx<'_, DpaMsg>,
+    ptrs: Vec<GPtr>,
+) -> Vec<(GPtr, u32)> {
+    ptrs.into_iter()
+        .map(|p| {
+            debug_assert!(p.is_local_to(ctx.me().0), "request for non-owned object");
+            ctx.charge_overhead(cfg.cost.owner_lookup_ns);
+            (p, app.object_size(p))
+        })
+        .collect()
+}
+
+/// Payload bytes a reply batch occupies on the wire.
+pub(crate) fn reply_payload_bytes(batch: &[(GPtr, u32)]) -> u32 {
+    batch.iter().map(|&(_, size)| size + GPtr::WIRE_BYTES).sum()
+}
+
+/// Send one reply batch to `dst`, charging for every packet it spans.
+pub(crate) fn send_reply_batch(
+    cfg: &DpaConfig,
+    ctx: &mut Ctx<'_, DpaMsg>,
+    dst: NodeId,
+    batch: Vec<(GPtr, u32)>,
+) {
+    debug_assert!(!batch.is_empty());
+    charge_extra_packets(cfg, ctx, reply_payload_bytes(&batch));
+    ctx.send(dst, DpaMsg::Reply(batch));
+}
+
+/// Service one incoming request batch immediately: charge per-object
+/// lookup, then send one or more MTU-bounded replies to `src` (an entry
+/// that alone exceeds the MTU becomes its own multi-packet message).
+/// Returns what went on the wire.
 pub(crate) fn service_request<A: PtrApp>(
     app: &A,
     cfg: &DpaConfig,
     ctx: &mut Ctx<'_, DpaMsg>,
     src: NodeId,
     ptrs: Vec<GPtr>,
-) -> u64 {
+) -> ReplyAccounting {
     let mtu = cfg.mtu.0;
-    let mut sent = 0u64;
+    let mut acct = ReplyAccounting::default();
     let mut chunk: Vec<(GPtr, u32)> = Vec::new();
     let mut chunk_bytes = 0u32;
-    for p in ptrs {
-        debug_assert!(p.is_local_to(ctx.me().0), "request for non-owned object");
-        ctx.charge_overhead(cfg.cost.owner_lookup_ns);
-        let size = app.object_size(p);
+    for (p, size) in lookup_entries(app, cfg, ctx, ptrs) {
         let entry = size + GPtr::WIRE_BYTES;
         if !chunk.is_empty() && chunk_bytes + entry > mtu {
-            sent += 1;
-            ctx.send(src, DpaMsg::Reply(std::mem::take(&mut chunk)));
+            acct.msgs += 1;
+            acct.entries += chunk.len() as u64;
+            send_reply_batch(cfg, ctx, src, std::mem::take(&mut chunk));
             chunk_bytes = 0;
         }
         chunk_bytes += entry;
         chunk.push((p, size));
     }
     if !chunk.is_empty() {
-        sent += 1;
-        ctx.send(src, DpaMsg::Reply(chunk));
+        acct.msgs += 1;
+        acct.entries += chunk.len() as u64;
+        send_reply_batch(cfg, ctx, src, chunk);
     }
-    sent
+    acct
 }

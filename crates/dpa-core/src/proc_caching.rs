@@ -54,6 +54,9 @@ pub struct CachingProc<A: PtrApp> {
     completed_iters: u64,
     request_msgs: u64,
     reply_msgs: u64,
+    /// Reply entries served to other nodes (always sent immediately: the
+    /// baselines never buffer replies).
+    reply_entries: u64,
     /// Update messages sent; doubles as the per-sender update sequence.
     update_msgs: u64,
     updates_emitted: u64,
@@ -99,6 +102,7 @@ impl<A: PtrApp> CachingProc<A> {
             completed_iters: 0,
             request_msgs: 0,
             reply_msgs: 0,
+            reply_entries: 0,
             update_msgs: 0,
             updates_emitted: 0,
             updates_applied: 0,
@@ -140,6 +144,11 @@ impl<A: PtrApp> CachingProc<A> {
             updates_emitted: self.updates_emitted,
             updates_applied: self.updates_applied,
             upd_sent: self.update_msgs,
+            reply_pushed: self.reply_entries,
+            reply_sent: self.reply_entries,
+            request_msgs: self.request_msgs,
+            reply_msgs: self.reply_msgs,
+            update_msgs: self.update_msgs,
             ..NodeSnapshot::default()
         }
     }
@@ -303,8 +312,9 @@ impl<A: PtrApp> Proc for CachingProc<A> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, msg: DpaMsg) {
         match msg {
             DpaMsg::Request(ptrs) => {
-                self.reply_msgs +=
-                    crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs);
+                let acct = crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs);
+                self.reply_msgs += acct.msgs;
+                self.reply_entries += acct.entries;
             }
             DpaMsg::Update { seq, entries } => {
                 // Dedup on (sender, seq): duplicated delivery must not
@@ -384,6 +394,7 @@ impl<A: PtrApp> Proc for CachingProc<A> {
         stats.bump("cache_peak_bytes", self.cache.peak_bytes());
         stats.bump("request_msgs", self.request_msgs);
         stats.bump("reply_msgs", self.reply_msgs);
+        stats.bump("reply_entries", self.reply_entries);
         stats.bump("update_msgs", self.update_msgs);
         stats.bump("updates_emitted", self.updates_emitted);
         stats.bump("updates_applied", self.updates_applied);

@@ -21,6 +21,17 @@
 //!    transfers overlap the remaining local work; without pipelining
 //!    (the "Base" configuration) one batch is sent per quiescence and the
 //!    node waits for its reply — each round trip is exposed.
+//!
+//! The *owner* side runs its own communication scheduler: with
+//! `reply_agg_window > 1`, reply entries for incoming requests (and
+//! batched `Update` reductions) are buffered per destination in a
+//! [`ByteCoalescer`] and flushed adaptively — at MTU occupancy or the
+//! entry window (whichever fills first), after `reply_flush_deadline_ns`
+//! of simulated time since a destination's first entry (deadline wakes),
+//! and unconditionally at every local quiescence point. A request that
+//! finds the owner already idle is answered immediately: buffering only
+//! happens while there is local work to overlap, so latency is never
+//! traded for overhead.
 //! 4. **Tile** — when a reply installs an object, *all* threads aligned
 //!    under it are released consecutively: threads using the same object
 //!    execute together, paying its fetch exactly once.
@@ -35,10 +46,13 @@ use crate::mapping::PointerMap;
 use crate::msg::DpaMsg;
 use crate::pending::PendingRequests;
 use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
-use fastmsg::Coalescer;
+use fastmsg::{ByteCoalescer, Coalescer};
 use global_heap::{ArrivalSet, GPtr};
 use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Wire bytes of one `(pointer, f64)` reduction entry.
+const UPDATE_ENTRY_BYTES: u64 = GPtr::WIRE_BYTES as u64 + 8;
 
 /// A DPA node: the application's per-node instance plus runtime state.
 pub struct DpaProc<A: PtrApp> {
@@ -58,7 +72,15 @@ pub struct DpaProc<A: PtrApp> {
     held: VecDeque<(u16, Vec<GPtr>)>,
     /// Per-destination reduction batching (fire-and-forget, so sent when
     /// full regardless of the pipelining flag).
-    upd_coal: Coalescer<(GPtr, f64)>,
+    upd_coal: ByteCoalescer<(GPtr, f64)>,
+    /// Owner-side reply scheduler: per-destination reply-entry batching
+    /// under the adaptive flush policy (budget / window / deadline /
+    /// quiescence). Unused (always empty) when `reply_agg_window == 1`.
+    reply_coal: ByteCoalescer<(GPtr, u32)>,
+    /// Earliest armed deadline wake for buffered replies/updates, in
+    /// simulated ns. Wakes cannot be cancelled, so this only suppresses
+    /// arming a *later* duplicate; a stale earlier wake fires harmlessly.
+    flush_wake_at: Option<u64>,
     /// Live work count per open iteration.
     iter_live: HashMap<u32, u32>,
     next_iter: usize,
@@ -80,6 +102,10 @@ pub struct DpaProc<A: PtrApp> {
     request_entries_sent: u64,
     /// Reduction entries put on the wire.
     update_entries_sent: u64,
+    /// Reply entries accepted for sending (immediate or buffered).
+    reply_entries_pushed: u64,
+    /// Reply entries put on the wire (conservation vs. pushes).
+    reply_entries_sent: u64,
     /// `(sender, seq)` pairs of Update messages already applied; makes
     /// reduction application idempotent under duplicated delivery.
     seen_updates: HashSet<(u16, u64)>,
@@ -100,11 +126,13 @@ impl<A: PtrApp> DpaProc<A> {
             cfg.variant
         );
         assert!(cfg.strip_size >= 1, "strip size must be >= 1");
+        assert!(cfg.reply_agg_window >= 1, "reply window must be >= 1");
         let total_iters = app.num_iterations();
         // Without pipelining, batches are held rather than auto-sent, so
         // the window can stay as configured; `held` captures overflow.
         let coal = Coalescer::new(nodes, cfg.agg_window);
-        let upd_coal = Coalescer::new(nodes, cfg.agg_window);
+        let upd_coal = ByteCoalescer::new(nodes, cfg.mtu.0 as u64, cfg.agg_window);
+        let reply_coal = ByteCoalescer::new(nodes, cfg.mtu.0 as u64, cfg.reply_agg_window);
         DpaProc {
             app,
             cfg,
@@ -115,6 +143,8 @@ impl<A: PtrApp> DpaProc<A> {
             coal,
             held: VecDeque::new(),
             upd_coal,
+            reply_coal,
+            flush_wake_at: None,
             iter_live: HashMap::new(),
             next_iter: 0,
             total_iters,
@@ -130,6 +160,8 @@ impl<A: PtrApp> DpaProc<A> {
             updates_applied: 0,
             request_entries_sent: 0,
             update_entries_sent: 0,
+            reply_entries_pushed: 0,
+            reply_entries_sent: 0,
             seen_updates: HashSet::new(),
             wake_scheduled: false,
             done: false,
@@ -167,6 +199,12 @@ impl<A: PtrApp> DpaProc<A> {
             updates_applied: self.updates_applied,
             upd_sent: self.update_entries_sent,
             upd_buffered: self.upd_coal.pending(),
+            reply_pushed: self.reply_entries_pushed,
+            reply_sent: self.reply_entries_sent,
+            reply_buffered: self.reply_coal.pending(),
+            request_msgs: self.request_msgs,
+            reply_msgs: self.reply_msgs,
+            update_msgs: self.update_msgs,
         }
     }
 
@@ -197,7 +235,9 @@ impl<A: PtrApp> DpaProc<A> {
                     self.app.apply_update(ptr, value);
                 } else {
                     ctx.charge_overhead(self.cfg.cost.request_entry_ns);
-                    if let Some(batch) = self.upd_coal.push(ptr.node(), (ptr, value)) {
+                    let now = ctx.now().as_ns();
+                    for batch in self.upd_coal.push(ptr.node(), (ptr, value), UPDATE_ENTRY_BYTES, now)
+                    {
                         self.send_update(ctx, ptr.node(), batch);
                     }
                 }
@@ -247,6 +287,69 @@ impl<A: PtrApp> DpaProc<A> {
                 entries: batch,
             },
         );
+    }
+
+    fn send_reply(&mut self, ctx: &mut Ctx<'_, DpaMsg>, dst: u16, batch: Vec<(GPtr, u32)>) {
+        self.reply_msgs += 1;
+        self.reply_entries_sent += batch.len() as u64;
+        crate::owner::send_reply_batch(&self.cfg, ctx, NodeId(dst), batch);
+    }
+
+    /// Owner-side scheduler: buffer reply entries for `src`, sending any
+    /// batches the push forces out (budget/window full, oversized entry).
+    fn enqueue_replies(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, ptrs: Vec<GPtr>) {
+        let now = ctx.now().as_ns();
+        for (p, size) in crate::owner::lookup_entries(&self.app, &self.cfg, ctx, ptrs) {
+            self.reply_entries_pushed += 1;
+            let entry_bytes = (size + GPtr::WIRE_BYTES) as u64;
+            for batch in self.reply_coal.push(src.0, (p, size), entry_bytes, now) {
+                self.send_reply(ctx, src.0, batch);
+            }
+        }
+        self.ensure_flush_wake(ctx);
+    }
+
+    /// Flush every buffered reply/update destination whose oldest entry
+    /// has aged past the deadline, then re-arm the wake for what remains.
+    fn flush_due(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        let now = ctx.now().as_ns();
+        if self.flush_wake_at.is_some_and(|t| t <= now) {
+            self.flush_wake_at = None;
+        }
+        let deadline = self.cfg.reply_flush_deadline_ns;
+        for (dst, batch) in self.reply_coal.take_due(now, deadline) {
+            self.send_reply(ctx, dst, batch);
+        }
+        for (dst, batch) in self.upd_coal.take_due(now, deadline) {
+            self.send_update(ctx, dst, batch);
+        }
+        self.ensure_flush_wake(ctx);
+    }
+
+    /// Arm a deadline wake covering the oldest buffered reply/update entry
+    /// (no-op when nothing is buffered or an earlier wake is already
+    /// armed). This is what guarantees a buffered batch can never be
+    /// stranded: every enqueue path ends with a wake at its deadline.
+    fn ensure_flush_wake(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        let deadline = self.cfg.reply_flush_deadline_ns;
+        let due = match (
+            self.reply_coal.next_due(deadline),
+            self.upd_coal.next_due(deadline),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(due) = due {
+            let rearm = match self.flush_wake_at {
+                None => true,
+                Some(t) => due < t,
+            };
+            if rearm {
+                self.flush_wake_at = Some(due);
+                let now = ctx.now().as_ns();
+                ctx.wake_after(Dur::from_ns(due.saturating_sub(now)));
+            }
+        }
     }
 
     fn finish_one_work(&mut self, iter: u32) {
@@ -350,8 +453,14 @@ impl<A: PtrApp> DpaProc<A> {
                 continue;
             }
 
-            // Local quiescence: schedule communication. Reductions are
-            // fire-and-forget: always drained here.
+            // Local quiescence: schedule communication. Buffered replies
+            // and reductions are flushed unconditionally — there is no
+            // local work left to overlap, so holding them would trade
+            // latency for nothing.
+            let replies = self.reply_coal.drain_all();
+            for (dst, batch) in replies {
+                self.send_reply(ctx, dst, batch);
+            }
             let upd = self.upd_coal.drain_all();
             for (dst, batch) in upd {
                 self.send_update(ctx, dst, batch);
@@ -383,6 +492,7 @@ impl<A: PtrApp> DpaProc<A> {
                 debug_assert!(self.map.is_empty());
                 debug_assert!(self.coal.is_empty() && self.held.is_empty());
                 debug_assert!(self.upd_coal.is_empty());
+                debug_assert!(self.reply_coal.is_empty());
                 self.done = true;
             }
             return;
@@ -401,7 +511,18 @@ impl<A: PtrApp> Proc for DpaProc<A> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, msg: DpaMsg) {
         match msg {
             DpaMsg::Request(ptrs) => {
-                self.reply_msgs += crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs);
+                // Adaptive policy: buffer replies only while local work is
+                // in progress (the buffering overlaps it, bounded by the
+                // deadline wake); an idle or finished owner answers
+                // immediately — quiescence means flush.
+                if self.cfg.reply_agg_window > 1 && !self.stack.is_empty() && !self.done {
+                    self.enqueue_replies(ctx, src, ptrs);
+                } else {
+                    let acct = crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs);
+                    self.reply_msgs += acct.msgs;
+                    self.reply_entries_pushed += acct.entries;
+                    self.reply_entries_sent += acct.entries;
+                }
             }
             DpaMsg::Reply(objs) => {
                 self.install_reply(ctx, objs);
@@ -426,6 +547,7 @@ impl<A: PtrApp> Proc for DpaProc<A> {
 
     fn on_wake(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
         self.wake_scheduled = false;
+        self.flush_due(ctx);
         self.drive(ctx);
     }
 
@@ -468,10 +590,27 @@ impl<A: PtrApp> Proc for DpaProc<A> {
             "thread_state_peak_bytes",
             self.map.peak_threads() * self.app.work_state_bytes() as u64,
         );
+        // Per-path aggregation factors (entries per message, x1000). The
+        // request and update paths read their coalescers; the reply path
+        // covers both the scheduler and the immediate-service path, so it
+        // is computed from the wire counters.
         stats.bump(
-            "agg_factor_milli",
+            "req_agg_factor_milli",
             (self.coal.aggregation_factor() * 1000.0) as u64,
         );
+        stats.bump(
+            "upd_agg_factor_milli",
+            (self.upd_coal.aggregation_factor() * 1000.0) as u64,
+        );
+        let reply_agg = if self.reply_msgs == 0 {
+            0.0
+        } else {
+            self.reply_entries_sent as f64 / self.reply_msgs as f64
+        };
+        stats.bump("reply_agg_factor_milli", (reply_agg * 1000.0) as u64);
+        stats.bump("request_entries", self.request_entries_sent);
+        stats.bump("reply_entries", self.reply_entries_sent);
+        stats.bump("update_entries", self.update_entries_sent);
         stats.bump("peak_in_flight", self.peak_in_flight);
         stats.bump("updates_emitted", self.updates_emitted);
         stats.bump("updates_applied", self.updates_applied);

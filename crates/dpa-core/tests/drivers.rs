@@ -212,6 +212,85 @@ fn oversized_objects_segment_replies_at_the_mtu() {
 }
 
 #[test]
+fn oversized_objects_pay_multi_packet_cost() {
+    // A single object larger than the MTU cannot be segmented across
+    // reply entries, so the owner must be charged for every extra packet
+    // it occupies. Run the same world under a small and a large MTU:
+    // with 5000-byte records and a 2 KiB MTU each reply spans 3 packets;
+    // with an 8 KiB MTU it fits in one. Identical results, but the
+    // small-MTU run must charge strictly more send overhead.
+    let world = SynthWorld::build(SynthParams {
+        record_bytes: 5_000,
+        ..params(4)
+    });
+    let expected: Vec<u64> = (0..4).map(|n| world.expected_sum(n)).collect();
+    let run_with_mtu = |mtu: u32| {
+        let mut sums = vec![0u64; 4];
+        let cfg = DpaConfig {
+            mtu: fastmsg::Mtu::new(mtu),
+            ..DpaConfig::dpa(16)
+        };
+        let report = run_phase(
+            4,
+            NetConfig::default(),
+            cfg,
+            |i| SynthApp::new(world.clone(), i, 800),
+            |i, app| sums[i as usize] = app.sum,
+        );
+        assert_eq!(sums, expected);
+        report.stats.sum(|s| s.overhead.as_ns())
+    };
+    let overhead_small_mtu = run_with_mtu(2_048);
+    let overhead_large_mtu = run_with_mtu(8_192);
+    assert!(
+        overhead_small_mtu > overhead_large_mtu,
+        "3-packet replies must charge more overhead than 1-packet ones \
+         ({overhead_small_mtu} vs {overhead_large_mtu})"
+    );
+}
+
+#[test]
+fn reply_aggregation_coalesces_replies_and_preserves_results() {
+    // With the owner-side reply scheduler on, busy owners answer several
+    // request batches from the same destination in fewer messages; the
+    // computed checksums are untouched.
+    let world = SynthWorld::build(SynthParams {
+        remote_fraction: 0.6,
+        ..params(8)
+    });
+    let expected: Vec<u64> = (0..8).map(|n| world.expected_sum(n)).collect();
+    let run_with = |reply_agg_window: usize| {
+        let mut sums = vec![0u64; 8];
+        let cfg = DpaConfig {
+            reply_agg_window,
+            ..DpaConfig::dpa(16)
+        };
+        let report = run_phase(
+            8,
+            NetConfig::default(),
+            cfg,
+            |i| SynthApp::new(world.clone(), i, 800),
+            |i, app| sums[i as usize] = app.sum,
+        );
+        assert_eq!(sums, expected);
+        (
+            report.stats.user_total("reply_msgs"),
+            report.stats.user_ratio("reply_entries", "reply_msgs"),
+        )
+    };
+    let (msgs_off, factor_off) = run_with(1);
+    let (msgs_on, factor_on) = run_with(32);
+    assert!(
+        msgs_on < msgs_off,
+        "reply aggregation must reduce reply messages ({msgs_on} vs {msgs_off})"
+    );
+    assert!(
+        factor_on > factor_off,
+        "reply aggregation factor must grow ({factor_on:.2} vs {factor_off:.2})"
+    );
+}
+
+#[test]
 fn flow_control_bounds_in_flight_requests() {
     let world = SynthWorld::build(SynthParams {
         remote_fraction: 0.6,

@@ -155,6 +155,191 @@ impl<T> Coalescer<T> {
     }
 }
 
+/// Per-destination batching with an **adaptive flush policy**: a batch is
+/// emitted when its destination buffer reaches `max_entries` items *or*
+/// `byte_budget` payload bytes (MTU occupancy), and destinations whose
+/// oldest entry has waited past a caller-supplied deadline can be flushed
+/// by [`ByteCoalescer::take_due`]. This drives the owner-side reply
+/// scheduler (and the reduction/update path): replies are heavier and more
+/// variably sized than 8-byte request pointers, so an entry-count window
+/// alone either under-fills or overflows the MTU.
+///
+/// Time is whatever monotone unit the caller passes to `push`/`take_due`
+/// (the simulator passes simulated ns); the coalescer only compares values.
+#[derive(Clone, Debug)]
+pub struct ByteCoalescer<T> {
+    buffers: Vec<VecDeque<T>>,
+    /// Payload bytes buffered per destination.
+    bytes: Vec<u64>,
+    /// Enqueue time of the oldest buffered entry per destination.
+    first_at: Vec<u64>,
+    byte_budget: u64,
+    max_entries: usize,
+    pushed: u64,
+    pushed_bytes: u64,
+    batches: u64,
+    nonempty: Vec<u16>,
+}
+
+impl<T> ByteCoalescer<T> {
+    /// A coalescer for `nodes` destinations flushing at `byte_budget`
+    /// payload bytes or `max_entries` items, whichever fills first.
+    /// `max_entries == 1` disables aggregation (every push emits
+    /// immediately).
+    pub fn new(nodes: usize, byte_budget: u64, max_entries: usize) -> ByteCoalescer<T> {
+        assert!(max_entries >= 1, "aggregation window must be >= 1");
+        assert!(byte_budget >= 1, "byte budget must be >= 1");
+        ByteCoalescer {
+            buffers: (0..nodes).map(|_| VecDeque::new()).collect(),
+            bytes: vec![0; nodes],
+            first_at: vec![0; nodes],
+            byte_budget,
+            max_entries,
+            pushed: 0,
+            pushed_bytes: 0,
+            batches: 0,
+            nonempty: Vec::new(),
+        }
+    }
+
+    /// The configured entry window.
+    pub fn window(&self) -> usize {
+        self.max_entries
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> u64 {
+        self.byte_budget
+    }
+
+    fn mark_nonempty(&mut self, dst: u16) {
+        if let Err(pos) = self.nonempty.binary_search(&dst) {
+            self.nonempty.insert(pos, dst);
+        }
+    }
+
+    fn take_inner(&mut self, dst: u16) -> Vec<T> {
+        self.batches += 1;
+        self.bytes[dst as usize] = 0;
+        if let Ok(pos) = self.nonempty.binary_search(&dst) {
+            self.nonempty.remove(pos);
+        }
+        self.buffers[dst as usize].drain(..).collect()
+    }
+
+    /// Append an `item_bytes`-byte `item` for `dst` at time `now`. Returns
+    /// the batches this push forces out (usually none, at most two): if the
+    /// item would overflow a nonempty buffer past the byte budget, that
+    /// buffer is flushed first; the buffer is then flushed again if the
+    /// item itself fills it (entry window reached, budget reached, or a
+    /// single oversized item — which thus always travels alone).
+    pub fn push(&mut self, dst: u16, item: T, item_bytes: u64, now: u64) -> Vec<Vec<T>> {
+        self.pushed += 1;
+        self.pushed_bytes += item_bytes;
+        let mut out = Vec::new();
+        let d = dst as usize;
+        if !self.buffers[d].is_empty() && self.bytes[d] + item_bytes > self.byte_budget {
+            out.push(self.take_inner(dst));
+        }
+        if self.buffers[d].is_empty() {
+            self.first_at[d] = now;
+            self.mark_nonempty(dst);
+        }
+        self.buffers[d].push_back(item);
+        self.bytes[d] += item_bytes;
+        if self.buffers[d].len() >= self.max_entries || self.bytes[d] >= self.byte_budget {
+            out.push(self.take_inner(dst));
+        }
+        out
+    }
+
+    /// Remove and return the pending batch for `dst`, if any.
+    pub fn take(&mut self, dst: u16) -> Option<Vec<T>> {
+        if self.buffers[dst as usize].is_empty() {
+            return None;
+        }
+        Some(self.take_inner(dst))
+    }
+
+    /// Flush every destination whose oldest entry was enqueued at or before
+    /// `now - deadline`, in ascending destination order.
+    pub fn take_due(&mut self, now: u64, deadline: u64) -> Vec<(u16, Vec<T>)> {
+        let due: Vec<u16> = self
+            .nonempty
+            .iter()
+            .copied()
+            .filter(|&d| self.first_at[d as usize] + deadline <= now)
+            .collect();
+        due.into_iter().map(|d| (d, self.take_inner(d))).collect()
+    }
+
+    /// Earliest time any currently buffered destination becomes due under
+    /// `deadline` (`None` when everything is empty).
+    pub fn next_due(&self, deadline: u64) -> Option<u64> {
+        self.nonempty
+            .iter()
+            .map(|&d| self.first_at[d as usize] + deadline)
+            .min()
+    }
+
+    /// Drain every nonempty buffer, in ascending destination order.
+    pub fn drain_all(&mut self) -> Vec<(u16, Vec<T>)> {
+        let dests = std::mem::take(&mut self.nonempty);
+        let mut out = Vec::with_capacity(dests.len());
+        for dst in dests {
+            let d = dst as usize;
+            if !self.buffers[d].is_empty() {
+                self.batches += 1;
+                self.bytes[d] = 0;
+                out.push((dst, self.buffers[d].drain(..).collect()));
+            }
+        }
+        out
+    }
+
+    /// Items currently buffered across all destinations.
+    pub fn pending(&self) -> usize {
+        self.nonempty
+            .iter()
+            .map(|&d| self.buffers[d as usize].len())
+            .sum()
+    }
+
+    /// Payload bytes currently buffered across all destinations.
+    pub fn pending_bytes(&self) -> u64 {
+        self.nonempty.iter().map(|&d| self.bytes[d as usize]).sum()
+    }
+
+    /// `true` when no destination has buffered items.
+    pub fn is_empty(&self) -> bool {
+        self.nonempty.is_empty()
+    }
+
+    /// Total items pushed over the coalescer's lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total payload bytes pushed over the coalescer's lifetime.
+    pub fn total_pushed_bytes(&self) -> u64 {
+        self.pushed_bytes
+    }
+
+    /// Total batches emitted over the coalescer's lifetime.
+    pub fn total_batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Mean achieved aggregation factor (items per emitted batch).
+    pub fn aggregation_factor(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.pushed - self.pending() as u64) as f64 / self.batches as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,5 +420,123 @@ mod tests {
             }
         }
         assert_eq!(emitted + c.pending(), 1000);
+    }
+
+    #[test]
+    fn byte_budget_flushes_before_overflow() {
+        let mut c: ByteCoalescer<u32> = ByteCoalescer::new(2, 100, 64);
+        assert!(c.push(0, 1, 40, 0).is_empty());
+        assert!(c.push(0, 2, 40, 1).is_empty());
+        // 40 + 40 + 40 would overflow 100: the existing pair goes first.
+        let out = c.push(0, 3, 40, 2);
+        assert_eq!(out, vec![vec![1, 2]]);
+        assert_eq!(c.pending(), 1);
+        assert_eq!(c.pending_bytes(), 40);
+    }
+
+    #[test]
+    fn exact_budget_fill_emits() {
+        let mut c: ByteCoalescer<u32> = ByteCoalescer::new(1, 80, 64);
+        assert!(c.push(0, 1, 40, 0).is_empty());
+        assert_eq!(c.push(0, 2, 40, 1), vec![vec![1, 2]]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn oversized_item_travels_alone() {
+        let mut c: ByteCoalescer<u32> = ByteCoalescer::new(2, 100, 64);
+        assert!(c.push(1, 7, 30, 0).is_empty());
+        // A 500-byte item flushes the 30-byte entry, then itself.
+        let out = c.push(1, 8, 500, 1);
+        assert_eq!(out, vec![vec![7], vec![8]]);
+        assert!(c.is_empty());
+        // Oversized into an empty buffer: exactly one singleton batch.
+        assert_eq!(c.push(0, 9, 500, 2), vec![vec![9]]);
+    }
+
+    #[test]
+    fn entry_window_still_applies() {
+        let mut c: ByteCoalescer<u32> = ByteCoalescer::new(1, u64::MAX, 3);
+        assert!(c.push(0, 1, 8, 0).is_empty());
+        assert!(c.push(0, 2, 8, 0).is_empty());
+        assert_eq!(c.push(0, 3, 8, 0), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn window_one_byte_coalescer_is_immediate() {
+        let mut c: ByteCoalescer<u32> = ByteCoalescer::new(4, u64::MAX, 1);
+        assert_eq!(c.push(2, 7, 64, 5), vec![vec![7]]);
+        assert!(c.is_empty());
+        assert_eq!(c.aggregation_factor(), 1.0);
+    }
+
+    #[test]
+    fn deadline_takes_only_due_destinations() {
+        let mut c: ByteCoalescer<u32> = ByteCoalescer::new(4, 1000, 64);
+        c.push(0, 1, 10, 100);
+        c.push(3, 2, 10, 400);
+        assert_eq!(c.next_due(50), Some(150));
+        // At t=200 with a 50-tick deadline only dst 0 (enqueued at 100)
+        // is due.
+        let due = c.take_due(200, 50);
+        assert_eq!(due, vec![(0, vec![1])]);
+        assert_eq!(c.next_due(50), Some(450));
+        assert_eq!(c.take_due(200, 50), vec![]);
+        assert_eq!(c.take_due(450, 50), vec![(3, vec![2])]);
+        assert_eq!(c.next_due(50), None);
+    }
+
+    #[test]
+    fn deadline_tracks_oldest_entry() {
+        let mut c: ByteCoalescer<u32> = ByteCoalescer::new(1, 1000, 64);
+        c.push(0, 1, 10, 100);
+        c.push(0, 2, 10, 900); // later entry must not reset the clock
+        assert_eq!(c.next_due(50), Some(150));
+        assert_eq!(c.take_due(150, 50), vec![(0, vec![1, 2])]);
+        // A fresh first entry restarts the clock.
+        c.push(0, 3, 10, 2000);
+        assert_eq!(c.next_due(50), Some(2050));
+    }
+
+    #[test]
+    fn byte_conservation_under_interleaving() {
+        // Bytes pushed = bytes emitted + bytes pending, always; and no
+        // multi-item batch ever exceeds the budget.
+        let budget = 128u64;
+        let mut c: ByteCoalescer<u64> = ByteCoalescer::new(8, budget, 5);
+        let mut emitted_items = 0usize;
+        let mut emitted_bytes = 0u64;
+        let mut check = |b: &Vec<u64>| {
+            let bytes: u64 = b.iter().map(|&i| 8 + (i * 37) % 90).sum();
+            assert!(b.len() == 1 || bytes <= budget, "batch of {bytes}B over budget");
+            emitted_items += b.len();
+            emitted_bytes += bytes;
+        };
+        for i in 0..1000u64 {
+            let dst = (i % 7) as u16;
+            let sz = 8 + (i * 37) % 90;
+            for b in c.push(dst, i, sz, i) {
+                check(&b);
+            }
+            if i % 61 == 0 {
+                for (_, b) in c.take_due(i, 13) {
+                    check(&b);
+                }
+            }
+            if i % 157 == 0 {
+                for (_, b) in c.drain_all() {
+                    check(&b);
+                }
+            }
+        }
+        assert_eq!(emitted_items + c.pending(), 1000);
+        assert_eq!(emitted_bytes + c.pending_bytes(), c.total_pushed_bytes());
+        assert_eq!(c.total_pushed(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregation window")]
+    fn byte_coalescer_zero_window_rejected() {
+        let _ = ByteCoalescer::<u32>::new(1, 100, 0);
     }
 }

@@ -22,6 +22,6 @@ pub mod agg;
 pub mod packet;
 pub mod router;
 
-pub use agg::{Coalescer, FlushReason};
+pub use agg::{ByteCoalescer, Coalescer, FlushReason};
 pub use packet::{packets_for, segment_sizes, Mtu};
 pub use router::Router;

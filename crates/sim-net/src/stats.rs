@@ -123,6 +123,18 @@ impl RunStats {
             .sum()
     }
 
+    /// Machine-wide ratio of two user counters (e.g. an aggregation
+    /// factor: entries sent over messages sent). 0 when the denominator
+    /// never fired.
+    pub fn user_ratio(&self, numerator: &str, denominator: &str) -> f64 {
+        let d = self.user_total(denominator);
+        if d == 0 {
+            0.0
+        } else {
+            self.user_total(numerator) as f64 / d as f64
+        }
+    }
+
     /// Max of a user counter across nodes (0 when absent everywhere).
     pub fn user_max(&self, name: &str) -> u64 {
         self.nodes
@@ -176,6 +188,22 @@ mod tests {
         assert_eq!(run.user_total("x"), 10);
         assert_eq!(run.user_max("x"), 9);
         assert_eq!(run.user_total("absent"), 0);
+    }
+
+    #[test]
+    fn user_ratio_totals_across_nodes() {
+        let mut a = NodeStats::default();
+        a.bump("entries", 30);
+        a.bump("msgs", 5);
+        let mut b = NodeStats::default();
+        b.bump("entries", 10);
+        b.bump("msgs", 5);
+        let run = RunStats {
+            nodes: vec![a, b],
+            ..RunStats::default()
+        };
+        assert!((run.user_ratio("entries", "msgs") - 4.0).abs() < 1e-12);
+        assert_eq!(run.user_ratio("entries", "absent"), 0.0);
     }
 
     #[test]

@@ -180,6 +180,112 @@ proptest! {
         }
     }
 
+    /// The reply-path scheduler partitions payload exactly: whatever the
+    /// interleaving of pushes, budget flushes, deadline flushes, and the
+    /// final drain, every entry and every byte pushed into a
+    /// `ByteCoalescer` comes back out exactly once.
+    #[test]
+    fn byte_coalescer_partitions_entries_and_bytes(
+        seed in any::<u64>(),
+        nodes in 1u16..6,
+        window in 1usize..12,
+        budget in 64u64..4096,
+        n in 1usize..200,
+    ) {
+        let mut rng = dpa::sim_net::Rng::new(seed);
+        let mut c = dpa::fastmsg::ByteCoalescer::<u64>::new(nodes.into(), budget, window);
+        let mut now = 0u64;
+        let mut entries_out = 0usize;
+        let mut bytes_in = 0u64;
+        for i in 0..n as u64 {
+            now += rng.below(5_000);
+            let dst = rng.below(nodes as u64) as u16;
+            // Occasionally exceed the budget so oversized items exercise
+            // the travel-alone path.
+            let sz = 1 + rng.below(budget + budget / 4);
+            bytes_in += sz;
+            for batch in c.push(dst, i, sz, now) {
+                prop_assert!(!batch.is_empty());
+                entries_out += batch.len();
+            }
+            if i % 7 == 0 {
+                for (_, batch) in c.take_due(now, 10_000) {
+                    entries_out += batch.len();
+                }
+            }
+        }
+        for (_, batch) in c.drain_all() {
+            entries_out += batch.len();
+        }
+        prop_assert!(c.is_empty());
+        prop_assert_eq!(entries_out, n, "entries lost or invented");
+        prop_assert_eq!(c.total_pushed(), n as u64);
+        prop_assert_eq!(c.total_pushed_bytes(), bytes_in);
+    }
+
+    /// Reply-path coalescing conserves payload exactly under every fault
+    /// plan: with the owner-side scheduler on (varying window and
+    /// deadline), drop / duplicate / delay plans never lose or invent a
+    /// reply entry, and lossless plans stay bit-exact with the oracle.
+    #[test]
+    fn reply_coalescing_conserves_under_faults(
+        seed in any::<u64>(),
+        nodes in 2u16..5,
+        reply_agg_window in 2usize..64,
+        deadline_ns in 1_000u64..80_000,
+        plan in 0usize..3,
+    ) {
+        let world = synth_world(seed, nodes, 0.6);
+        let expected: Vec<u64> = (0..nodes).map(|n| world.expected_sum(n)).collect();
+        let cfg = DpaConfig {
+            reply_agg_window,
+            reply_flush_deadline_ns: deadline_ns,
+            ..DpaConfig::dpa(4)
+        };
+        let faults = match plan {
+            0 => FaultPlan::drop(seed ^ 0x0D0D, 0.02),
+            1 => FaultPlan::duplicate(seed ^ 0xD0_D0, 0.5),
+            _ => FaultPlan::delay(seed ^ 0xDE1A, 0.5, 80_000),
+        };
+        let opts = DstOptions {
+            schedule_seed: Some(seed),
+            faults,
+        };
+        let mut sums = vec![0u64; nodes as usize];
+        let (report, snaps) = run_phase_dst(
+            nodes,
+            NetConfig::default(),
+            cfg,
+            &opts,
+            |i| SynthApp::new(world.clone(), i, 200),
+            |i, app| sums[i as usize] = app.sum,
+        );
+        // Reply-path (and every other) conservation holds on any run,
+        // completed or stalled, lossy or not.
+        let violations = check_conservation(&snaps);
+        prop_assert!(violations.is_empty(), "violation: {}", violations[0]);
+        for s in &snaps {
+            prop_assert_eq!(
+                s.reply_pushed,
+                s.reply_sent + s.reply_buffered as u64,
+                "reply scheduler leaked on n{}", s.node
+            );
+        }
+        if plan == 0 {
+            // Drops may stall; a stall must carry a diagnosis.
+            if !report.completed {
+                prop_assert!(report.stats.dropped_packets > 0);
+                prop_assert!(!report.stalls.is_empty(), "stall without diagnosis");
+                return;
+            }
+            prop_assert_eq!(report.stats.dropped_packets, 0);
+        }
+        prop_assert!(report.completed, "lossless plan stalled: {}", report.stall_summary());
+        prop_assert_eq!(&sums, &expected);
+        let violations = check_completed(&snaps, plan == 0);
+        prop_assert!(violations.is_empty(), "violation: {}", violations[0]);
+    }
+
     /// Delay plans reorder but never lose: results and invariants match
     /// the fault-free run exactly.
     #[test]
