@@ -247,6 +247,24 @@ pub struct BhApp {
     pub body_interactions: u64,
     /// Cells visited.
     pub cells_visited: u64,
+    /// Integer checksum of the interactions performed: the commutative
+    /// `wrapping_add` of a hash per (body, partner) pair, so it is
+    /// bit-identical regardless of execution order, strip size, object
+    /// placement, or migration — the determinism oracle for this phase.
+    pub interaction_hash: u64,
+}
+
+/// Mix two interaction ids into one well-spread 64-bit word
+/// (splitmix64-style finalizer).
+#[inline]
+fn mix_pair(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl BhApp {
@@ -260,6 +278,7 @@ impl BhApp {
             cell_interactions: 0,
             body_interactions: 0,
             cells_visited: 0,
+            interaction_hash: 0,
         }
     }
 
@@ -306,6 +325,9 @@ impl PtrApp for BhApp {
                         world.params.eps,
                     );
                     self.body_interactions += 1;
+                    self.interaction_hash = self
+                        .interaction_hash
+                        .wrapping_add(mix_pair(w.body as u64, b as u64));
                     env.charge(cost.body_interact_ns);
                 }
             }
@@ -314,6 +336,11 @@ impl PtrApp for BhApp {
             let a = point_accel(pos, cell.cm, cell.mass, world.params.eps);
             self.add_accel(w.body, a);
             self.cell_interactions += 1;
+            // Tag bit 32 separates cell partners from body partners: body
+            // and cell ids share the u32 range.
+            self.interaction_hash = self
+                .interaction_hash
+                .wrapping_add(mix_pair(w.body as u64, w.cell as u64 | (1 << 32)));
             env.charge(cost.cell_interact_ns);
         } else {
             for &c in &cell.children {

@@ -6,9 +6,9 @@
 //!
 //! * **schedules** — seeded tie-break permutation of equal-time events plus
 //!   bounded message-delay jitter (`Machine::perturb_schedule`);
-//! * **faults** — probabilistic drop / duplicate / delay plans
-//!   (`sim_net::FaultPlan`), decided per-channel so a message's fate is
-//!   independent of the interleaving;
+//! * **faults** — probabilistic drop / duplicate / delay plans plus
+//!   scheduled node pauses (`sim_net::FaultPlan`), decided per-channel so
+//!   a message's fate is independent of the interleaving;
 //!
 //! and checks, per run,
 //!
@@ -27,9 +27,15 @@
 //! files; a JSON sweep report (with per-path aggregation factors) lands in
 //! `results/dst_report.json`.
 //!
+//! Workloads cover the single-phase variants (synth DPA/caching, BH, FMM,
+//! relax) and the migration-enabled multi-phase variants (`synth-mig`,
+//! `bh-mig`, driven through `run_phase_migrating`), so the object-migration
+//! protocol — affinity, depart/adopt, forwards, orphans — is explored under
+//! every fault plan.
+//!
 //! Usage:
-//!   cargo run --release -p bench --bin dst            # 32 seeds x 4 plans
-//!   cargo run --release -p bench --bin dst -- --quick # 8 seeds x 4 plans
+//!   cargo run --release -p bench --bin dst            # 32 seeds x 5 plans
+//!   cargo run --release -p bench --bin dst -- --quick # 8 seeds x 5 plans
 //!   cargo run --release -p bench --bin dst -- --smoke # 8 seeds x 2 plans (CI)
 //!   cargo run --release -p bench --bin dst -- --replay tests/dst_corpus/<case>
 

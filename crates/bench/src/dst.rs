@@ -13,9 +13,9 @@ use apps::relax::{RelaxApp, RelaxWorld};
 use crate::{bh_world_sized, fmm_world_sized};
 use dpa_core::invariant::{check_completed, check_conservation, NodeSnapshot};
 use dpa_core::synth::{SynthApp, SynthParams, SynthWorld};
-use dpa_core::{run_phase_dst, DpaConfig, DstOptions};
+use dpa_core::{run_phase_dst, run_phase_migrating, DpaConfig, DstOptions};
 use nbody::fmm::Local;
-use sim_net::{FaultPlan, NetConfig, RunReport};
+use sim_net::{FaultPlan, NetConfig, NodePause, RunReport};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -25,11 +25,23 @@ pub const JITTER_NS: u64 = 2_000;
 /// reduction order differs, so bits may not).
 pub const FP_RTOL: f64 = 1e-9;
 /// Every fault-plan name the sweep explores.
-pub const ALL_PLANS: &[&str] = &["none", "drop", "dup", "delay"];
+pub const ALL_PLANS: &[&str] = &["none", "drop", "dup", "delay", "pause"];
 /// The CI-sized subset of fault plans.
 pub const SMOKE_PLANS: &[&str] = &["none", "drop"];
-/// Every workload name the sweep explores.
-pub const WORKLOADS: &[&str] = &["synth-dpa", "synth-caching", "bh", "fmm", "relax"];
+/// Every workload name the sweep explores. The `-mig` workloads run the
+/// same apps multi-phase with locality-driven object migration enabled
+/// (epoch affinity, departs, forwards, the boundary pass).
+pub const WORKLOADS: &[&str] = &[
+    "synth-dpa",
+    "synth-caching",
+    "bh",
+    "fmm",
+    "relax",
+    "synth-mig",
+    "bh-mig",
+];
+/// Phases per migration workload run (tables carry across boundaries).
+pub const MIG_PHASES: usize = 3;
 /// Where failing cases are recorded, relative to the repository root.
 pub const CORPUS_DIR: &str = "tests/dst_corpus";
 
@@ -122,6 +134,30 @@ pub fn net_for(opts: &DstOptions) -> NetConfig {
     NetConfig {
         jitter_ns: if opts.schedule_seed.is_some() { JITTER_NS } else { 0 },
         ..NetConfig::default()
+    }
+}
+
+/// Collapse a multi-phase migration run into one [`Outcome`]. Snapshots of
+/// all phases are concatenated — the invariant checkers accept repeated
+/// per-node snapshots (carried tables make the same adoption visible in
+/// every later phase).
+fn mig_outcome(
+    reports: Vec<RunReport>,
+    snap_sets: Vec<Vec<NodeSnapshot>>,
+    digest: Digest,
+) -> Outcome {
+    let stalls = reports
+        .iter()
+        .map(|r| r.stall_summary())
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("; ");
+    Outcome {
+        completed: reports.iter().all(|r| r.completed),
+        dropped: reports.iter().map(|r| r.stats.dropped_packets).sum(),
+        digest,
+        snaps: snap_sets.into_iter().flatten().collect(),
+        stalls,
     }
 }
 
@@ -280,6 +316,38 @@ pub fn run_one(w: &Worlds, workload: &str, opts: &DstOptions) -> Outcome {
                 snaps,
             }
         }
+        "synth-mig" => {
+            let world = w.synth.clone();
+            let nodes = world.nodes;
+            let mut sums = vec![0u64; MIG_PHASES * nodes as usize];
+            let (reports, snap_sets, _) = run_phase_migrating(
+                nodes,
+                net,
+                DpaConfig::dpa_migrating(4),
+                opts,
+                MIG_PHASES,
+                |_, i| SynthApp::new(world.clone(), i, 500),
+                |ph, i, app: &SynthApp| sums[ph * nodes as usize + i as usize] = app.sum,
+            );
+            mig_outcome(reports, snap_sets, Digest::Ints(sums))
+        }
+        "bh-mig" => {
+            let world = w.bh.clone();
+            let nodes = world.nodes;
+            let mut hashes = vec![0u64; MIG_PHASES * nodes as usize];
+            let (reports, snap_sets, _) = run_phase_migrating(
+                nodes,
+                net,
+                DpaConfig::dpa_migrating(8),
+                opts,
+                MIG_PHASES,
+                |_, i| BhApp::new(world.clone(), i),
+                |ph, i, app: &BhApp| {
+                    hashes[ph * nodes as usize + i as usize] = app.interaction_hash;
+                },
+            );
+            mig_outcome(reports, snap_sets, Digest::Ints(hashes))
+        }
         other => panic!("unknown workload {other:?}"),
     }
 }
@@ -296,6 +364,26 @@ pub fn plan_for(name: &str, seed: u64) -> FaultPlan {
         "drop" => FaultPlan::drop(fs, 0.02),
         "dup" => FaultPlan::duplicate(fs, 0.10),
         "delay" => FaultPlan::delay(fs, 0.30, 50_000),
+        "pause" => {
+            // Freeze two (seed-chosen) nodes in staggered windows: lossless,
+            // but deliveries bunch up at the window edges and replay in a
+            // burst — the adversarial schedule for epoch-driven migration.
+            FaultPlan {
+                pauses: vec![
+                    NodePause {
+                        node: (seed % 4) as u16,
+                        from_ns: 25_000,
+                        until_ns: 175_000,
+                    },
+                    NodePause {
+                        node: ((seed >> 2) % 4) as u16,
+                        from_ns: 210_000,
+                        until_ns: 330_000,
+                    },
+                ],
+                ..FaultPlan::default()
+            }
+        }
         other => panic!("unknown plan {other:?}"),
     }
 }

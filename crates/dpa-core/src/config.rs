@@ -197,6 +197,19 @@ pub struct DpaConfig {
     pub cache_capacity: Option<usize>,
     /// Caching baseline: eviction policy for a bounded cache.
     pub cache_policy: EvictPolicy,
+    /// Locality-driven object migration: epoch length in simulated ns.
+    /// Every epoch each node ships its sampled per-pointer remote
+    /// dereference counts to the objects' homes (`Affinity`), and owners
+    /// migrate high-affinity objects to their dominant consumer
+    /// (`Migrate`). `0` disables migration entirely (the default — all
+    /// baselines and paper configurations run with it off).
+    pub migration_epoch_ns: u64,
+    /// Minimum remote dereference count a single consumer must accumulate
+    /// on an object before the owner will migrate it.
+    pub migration_threshold: u64,
+    /// Maximum objects a node may migrate away per phase. Bounds both the
+    /// migration traffic burst and the forwarding-stub table.
+    pub migration_budget: usize,
 }
 
 impl Default for DpaConfig {
@@ -217,6 +230,9 @@ impl Default for DpaConfig {
             max_outstanding: usize::MAX,
             cache_capacity: None,
             cache_policy: EvictPolicy::Fifo,
+            migration_epoch_ns: 0,
+            migration_threshold: 3,
+            migration_budget: 64,
         }
     }
 }
@@ -254,6 +270,22 @@ impl DpaConfig {
         }
     }
 
+    /// Full DPA plus locality-driven object migration: owners ship
+    /// high-affinity objects toward their dominant consumers once per
+    /// epoch (one epoch per poll interval by default).
+    pub fn dpa_migrating(strip: usize) -> DpaConfig {
+        DpaConfig {
+            strip_size: strip,
+            migration_epoch_ns: 40_000,
+            ..DpaConfig::default()
+        }
+    }
+
+    /// `true` when locality-driven object migration is enabled.
+    pub fn migration_enabled(&self) -> bool {
+        self.migration_epoch_ns > 0
+    }
+
     /// The software-caching baseline. Owners answer immediately: the
     /// requester blocks on every miss, so a buffered reply would serialize
     /// the whole machine behind the flush deadline.
@@ -286,10 +318,20 @@ impl DpaConfig {
     /// A one-line description for experiment headers.
     pub fn describe(&self) -> String {
         match self.variant {
-            Variant::Dpa => format!(
-                "DPA(strip={}, agg={}, reply_agg={}, pipeline={})",
-                self.strip_size, self.agg_window, self.reply_agg_window, self.pipeline
-            ),
+            Variant::Dpa => {
+                let mig = if self.migration_enabled() {
+                    format!(
+                        ", migrate(epoch={}ns, thr={}, budget={})",
+                        self.migration_epoch_ns, self.migration_threshold, self.migration_budget
+                    )
+                } else {
+                    String::new()
+                };
+                format!(
+                    "DPA(strip={}, agg={}, reply_agg={}, pipeline={}{})",
+                    self.strip_size, self.agg_window, self.reply_agg_window, self.pipeline, mig
+                )
+            }
             v => v.label().to_string(),
         }
     }
@@ -348,5 +390,29 @@ mod tests {
         let d = DpaConfig::dpa(300).describe();
         assert!(d.contains("300"));
         assert_eq!(DpaConfig::caching().describe(), "Caching");
+    }
+
+    #[test]
+    fn migration_defaults_off_everywhere() {
+        // Every pre-existing preset must keep migration disabled so the
+        // paper baselines are bit-for-bit unchanged.
+        for cfg in [
+            DpaConfig::default(),
+            DpaConfig::dpa(50),
+            DpaConfig::dpa_base(50),
+            DpaConfig::dpa_pipeline(50),
+            DpaConfig::caching(),
+            DpaConfig::blocking(),
+            DpaConfig::sequential(),
+        ] {
+            assert_eq!(cfg.migration_epoch_ns, 0);
+            assert!(!cfg.migration_enabled());
+        }
+        let m = DpaConfig::dpa_migrating(50);
+        assert!(m.migration_enabled());
+        assert!(m.migration_threshold > 0);
+        assert!(m.migration_budget > 0);
+        assert!(m.describe().contains("migrate"));
+        assert!(!DpaConfig::dpa(50).describe().contains("migrate"));
     }
 }

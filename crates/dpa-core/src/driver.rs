@@ -6,6 +6,7 @@ use crate::invariant::NodeSnapshot;
 use crate::proc_caching::CachingProc;
 use crate::proc_dpa::DpaProc;
 use crate::work::PtrApp;
+use global_heap::MigrationTable;
 use sim_net::{FaultPlan, Machine, NetConfig, NodeId, RunReport, Trace};
 
 /// Run one phase of `app` instances (one per node) under `cfg` on a
@@ -136,6 +137,98 @@ pub fn run_phase_dst<A: PtrApp>(
             (report, snaps)
         }
     }
+}
+
+/// Multi-phase DPA run with locality-driven object migration carried
+/// across phase boundaries.
+///
+/// Each phase runs under DST control like [`run_phase_dst`]; between
+/// phases the per-node [`MigrationTable`]s are handed to the next phase's
+/// procs, and a *boundary pass* commits the accumulated affinity signal:
+/// every owner picks its dominant-consumer moves (same `threshold` /
+/// `budget` knobs as the in-phase epochs) and the objects are re-homed
+/// offline — no messages, the hand-off models shipping them alongside the
+/// phase barrier. The next phase's requesters then find the objects local
+/// to their new homes, which is where migration's message savings come
+/// from: within a single phase the arrival set already deduplicates
+/// fetches, so only cross-phase re-homing can remove request traffic.
+///
+/// With migration disabled in `cfg` this degenerates to running `phases`
+/// independent phases, so an ON/OFF ablation differs only in the knobs.
+///
+/// `mk(phase, node)` builds each phase's per-node app; `collect` sees
+/// every node after every phase. Returns the per-phase reports, the
+/// per-phase invariant snapshots, and the final migration tables (empty
+/// when migration is off).
+pub fn run_phase_migrating<A: PtrApp>(
+    nodes: u16,
+    net: NetConfig,
+    cfg: DpaConfig,
+    opts: &DstOptions,
+    phases: usize,
+    mut mk: impl FnMut(usize, u16) -> A,
+    mut collect: impl FnMut(usize, u16, &A),
+) -> (Vec<RunReport>, Vec<Vec<NodeSnapshot>>, Vec<MigrationTable>) {
+    assert!(nodes >= 1 && phases >= 1);
+    assert!(
+        matches!(cfg.variant, Variant::Dpa),
+        "migration drives the DPA variant only, got {:?}",
+        cfg.variant
+    );
+    let migrate = cfg.migration_enabled();
+    let mut tables: Option<Vec<MigrationTable>> = None;
+    let mut reports = Vec::with_capacity(phases);
+    let mut all_snaps = Vec::with_capacity(phases);
+    for phase in 0..phases {
+        let mut procs: Vec<_> = (0..nodes)
+            .map(|i| DpaProc::new(mk(phase, i), nodes as usize, cfg.clone()))
+            .collect();
+        if let Some(tables) = tables.take() {
+            for (p, t) in procs.iter_mut().zip(tables) {
+                p.set_migration(t);
+            }
+        }
+        let mut m = Machine::new(procs, net.clone());
+        m.set_faults(opts.faults.clone());
+        if let Some(seed) = opts.schedule_seed {
+            // Vary the perturbation per phase, deterministically.
+            m.perturb_schedule(seed.wrapping_add(phase as u64));
+        }
+        reports.push(m.run());
+        let mut snaps = Vec::with_capacity(nodes as usize);
+        for i in 0..nodes {
+            let p = m.proc(NodeId(i));
+            snaps.push(p.snapshot(i));
+            collect(phase, i, p.app());
+        }
+        all_snaps.push(snaps);
+        if migrate {
+            let mut taken: Vec<MigrationTable> = (0..nodes)
+                .map(|i| {
+                    m.proc_mut(NodeId(i))
+                        .take_migration()
+                        .expect("migration enabled")
+                })
+                .collect();
+            if phase + 1 < phases {
+                // Boundary pass: commit the phase's accumulated affinity.
+                // Owners in node order, picks already deterministically
+                // sorted — replays are bit-identical.
+                for owner in 0..nodes as usize {
+                    let picks = taken[owner]
+                        .pick_migrations(cfg.migration_threshold, cfg.migration_budget);
+                    for mv in picks {
+                        let size = m.proc(NodeId(owner as u16)).app().object_size(mv.ptr);
+                        if taken[owner].depart(mv.ptr, mv.to) {
+                            taken[mv.to as usize].adopt(mv.ptr, size);
+                        }
+                    }
+                }
+            }
+            tables = Some(taken);
+        }
+    }
+    (reports, all_snaps, tables.unwrap_or_default())
 }
 
 /// Like [`run_phase`] but tolerates an incomplete run (for fault-injection

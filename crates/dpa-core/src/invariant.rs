@@ -20,7 +20,17 @@
 //! *every* schedule and fault plan, which is what makes them useful DST
 //! oracles: a scheduling bug shows up as a leak long before it corrupts an
 //! application result.
+//!
+//! Object migration adds its own laws: every object lives at **exactly one
+//! home** (an adoption implies a matching stub, no object is adopted
+//! twice, and — on a lossless completed run — no stub points at a home
+//! that never materialized), forwarding chains are bounded at one hop (a
+//! node never both adopts and departs the same object), migration
+//! shipments conserve like every other coalesced path, and affinity
+//! reports all land (lossless runs).
 
+use global_heap::GPtr;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Post-run runtime state of one node, in entry counts.
@@ -74,6 +84,22 @@ pub struct NodeSnapshot {
     pub reply_msgs: u64,
     /// Update messages sent.
     pub update_msgs: u64,
+    /// Affinity entries sent on the wire.
+    pub aff_sent: u64,
+    /// Affinity entries received (after sequence dedup).
+    pub aff_recv: u64,
+    /// Migration entries committed for shipping (stub installed).
+    pub mig_pushed: u64,
+    /// Migration entries sent on the wire.
+    pub mig_sent: u64,
+    /// Migration entries still buffered in the shipment coalescer.
+    pub mig_buffered: usize,
+    /// Forwarded requests still parked waiting for their `Migrate`.
+    pub orphans_pending: usize,
+    /// Pointer bits of every object this node adopted (sorted).
+    pub adopted_ptrs: Vec<u64>,
+    /// Pointer bits of every object that departed from this node (sorted).
+    pub departed_ptrs: Vec<u64>,
 }
 
 /// One violated invariant, with enough context to act on.
@@ -107,6 +133,8 @@ pub enum Violation {
         upd: usize,
         /// Reply entries left buffered in the reply scheduler.
         reply: usize,
+        /// Migration entries left buffered in the shipment coalescer.
+        mig: usize,
     },
     /// Request entries pushed ≠ sent + buffered: the communication
     /// scheduler lost or invented entries.
@@ -163,6 +191,66 @@ pub enum Violation {
         /// Entries applied across all nodes.
         applied: u64,
     },
+    /// Migration entries committed ≠ sent + buffered: a shipment vanished
+    /// inside the migration coalescer (or was invented).
+    MigrationLeak {
+        /// Offending node.
+        node: u16,
+        /// Entries committed (stub installed).
+        pushed: u64,
+        /// Entries sent on the wire.
+        sent: u64,
+        /// Entries still buffered.
+        buffered: usize,
+    },
+    /// A node both adopted an object and departed it: a forwarding chain
+    /// of length > 1, which the protocol promises never to create.
+    ForwardChainTooLong {
+        /// Offending node.
+        node: u16,
+        /// The twice-moved object (pointer bits).
+        ptr: u64,
+    },
+    /// An object is adopted somewhere but no node holds its forwarding
+    /// stub — adoption without a departure, so the object has two homes.
+    AdoptionWithoutStub {
+        /// The adopting node.
+        node: u16,
+        /// The object (pointer bits).
+        ptr: u64,
+    },
+    /// Two or more nodes adopted the same object.
+    ObjectDoubleAdopted {
+        /// The object (pointer bits).
+        ptr: u64,
+        /// Every node claiming adoption.
+        nodes: Vec<u16>,
+    },
+    /// A stub points at a home that never materialized (lossless completed
+    /// run): the object's payload left its birth home and was never
+    /// adopted — the object is gone.
+    ObjectLost {
+        /// The birth home holding the dangling stub.
+        node: u16,
+        /// The lost object (pointer bits).
+        ptr: u64,
+    },
+    /// Forwarded requests still parked at phase end (lossless completed
+    /// run): a `Forward` arrived but its `Migrate` never did.
+    OrphanNotServed {
+        /// The node holding the orphans.
+        node: u16,
+        /// How many forwarded requests are still parked.
+        count: usize,
+    },
+    /// Machine-wide affinity conservation failed on a lossless run:
+    /// entries received (after dedup) ≠ entries sent.
+    AffinityLeak {
+        /// Affinity entries sent across all nodes.
+        sent: u64,
+        /// Affinity entries received across all nodes.
+        recv: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -190,9 +278,10 @@ impl fmt::Display for Violation {
                 req,
                 upd,
                 reply,
+                mig,
             } => write!(
                 f,
-                "n{node}: coalescer not drained at phase end ({req} request, {upd} update, {reply} reply entries)"
+                "n{node}: coalescer not drained at phase end ({req} request, {upd} update, {reply} reply, {mig} migration entries)"
             ),
             Violation::ReplyPathLeak {
                 node,
@@ -233,6 +322,45 @@ impl fmt::Display for Violation {
                 f,
                 "updates over-applied: {applied} applied > {emitted} emitted (duplicate folded twice)"
             ),
+            Violation::MigrationLeak {
+                node,
+                pushed,
+                sent,
+                buffered,
+            } => write!(
+                f,
+                "n{node}: migration conservation broken: committed {pushed} != sent {sent} + buffered {buffered}"
+            ),
+            Violation::ForwardChainTooLong { node, ptr } => write!(
+                f,
+                "n{node}: forwarding chain > 1 hop: {} both adopted and departed here",
+                GPtr::from_bits(*ptr)
+            ),
+            Violation::AdoptionWithoutStub { node, ptr } => write!(
+                f,
+                "n{node}: adopted {} but no node holds its forwarding stub (two homes)",
+                GPtr::from_bits(*ptr)
+            ),
+            Violation::ObjectDoubleAdopted { ptr, nodes } => write!(
+                f,
+                "{} adopted by {} nodes: {:?}",
+                GPtr::from_bits(*ptr),
+                nodes.len(),
+                nodes
+            ),
+            Violation::ObjectLost { node, ptr } => write!(
+                f,
+                "n{node}: {} departed but was never adopted anywhere (object lost)",
+                GPtr::from_bits(*ptr)
+            ),
+            Violation::OrphanNotServed { node, count } => write!(
+                f,
+                "n{node}: {count} forwarded request(s) still parked — their Migrate never landed"
+            ),
+            Violation::AffinityLeak { sent, recv } => write!(
+                f,
+                "affinity leaked: sent {sent} entries != received {recv} (lossless run)"
+            ),
         }
     }
 }
@@ -272,6 +400,55 @@ pub fn check_conservation(snaps: &[NodeSnapshot]) -> Vec<Violation> {
     if applied > emitted {
         out.push(Violation::UpdateOverApplied { emitted, applied });
     }
+    out.extend(check_migration_conservation(snaps));
+    out
+}
+
+/// Object-migration laws that hold on **any** run: shipment conservation,
+/// the one-hop forwarding bound, single-home exclusivity. (Stub installed
+/// strictly before the shipment leaves, so even a snapshot of a stalled
+/// run can never show an adoption without its stub.)
+fn check_migration_conservation(snaps: &[NodeSnapshot]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut adopters: HashMap<u64, Vec<u16>> = HashMap::new();
+    let mut departed_anywhere: HashSet<u64> = HashSet::new();
+    for s in snaps {
+        if s.mig_pushed != s.mig_sent + s.mig_buffered as u64 {
+            out.push(Violation::MigrationLeak {
+                node: s.node,
+                pushed: s.mig_pushed,
+                sent: s.mig_sent,
+                buffered: s.mig_buffered,
+            });
+        }
+        let departed_here: HashSet<u64> = s.departed_ptrs.iter().copied().collect();
+        departed_anywhere.extend(&departed_here);
+        for &ptr in &s.adopted_ptrs {
+            adopters.entry(ptr).or_default().push(s.node);
+            if departed_here.contains(&ptr) {
+                out.push(Violation::ForwardChainTooLong { node: s.node, ptr });
+            }
+        }
+    }
+    let mut ptrs: Vec<u64> = adopters.keys().copied().collect();
+    ptrs.sort_unstable();
+    for ptr in ptrs {
+        // Distinct adopters only: multi-phase checks feed every phase's
+        // snapshot of the same node, so repeats are expected — exclusivity
+        // is about two *different* nodes claiming the object.
+        let mut nodes = adopters[&ptr].clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        if nodes.len() > 1 {
+            out.push(Violation::ObjectDoubleAdopted { ptr, nodes });
+        }
+        if !departed_anywhere.contains(&ptr) {
+            out.push(Violation::AdoptionWithoutStub {
+                node: adopters[&ptr][0],
+                ptr,
+            });
+        }
+    }
     out
 }
 
@@ -299,12 +476,14 @@ pub fn check_completed(snaps: &[NodeSnapshot], lossy: bool) -> Vec<Violation> {
                 sample: s.pending_sample.clone(),
             });
         }
-        if s.req_buffered > 0 || s.upd_buffered > 0 || s.reply_buffered > 0 {
+        if s.req_buffered > 0 || s.upd_buffered > 0 || s.reply_buffered > 0 || s.mig_buffered > 0
+        {
             out.push(Violation::BufferNotDrained {
                 node: s.node,
                 req: s.req_buffered,
                 upd: s.upd_buffered,
                 reply: s.reply_buffered,
+                mig: s.mig_buffered,
             });
         }
     }
@@ -318,6 +497,31 @@ pub fn check_completed(snaps: &[NodeSnapshot], lossy: bool) -> Vec<Violation> {
                 applied,
                 buffered,
             });
+        }
+        // On a lossless completed run the machine has drained every
+        // message: all affinity landed, every shipped object was adopted,
+        // and no forwarded request is still waiting for its Migrate.
+        let sent: u64 = snaps.iter().map(|s| s.aff_sent).sum();
+        let recv: u64 = snaps.iter().map(|s| s.aff_recv).sum();
+        if sent != recv {
+            out.push(Violation::AffinityLeak { sent, recv });
+        }
+        let adopted_anywhere: HashSet<u64> = snaps
+            .iter()
+            .flat_map(|s| s.adopted_ptrs.iter().copied())
+            .collect();
+        for s in snaps {
+            for &ptr in &s.departed_ptrs {
+                if !adopted_anywhere.contains(&ptr) {
+                    out.push(Violation::ObjectLost { node: s.node, ptr });
+                }
+            }
+            if s.orphans_pending > 0 {
+                out.push(Violation::OrphanNotServed {
+                    node: s.node,
+                    count: s.orphans_pending,
+                });
+            }
         }
     }
     out
@@ -421,6 +625,112 @@ mod tests {
         assert!(check_conservation(&snaps)
             .iter()
             .any(|v| matches!(v, Violation::UpdateOverApplied { .. })));
+    }
+
+    #[test]
+    fn clean_migration_run_has_no_violations() {
+        // n0 departed an object that n1 adopted; affinity balanced.
+        let mut a = clean(0);
+        a.departed_ptrs = vec![42];
+        a.aff_recv = 5;
+        let mut b = clean(1);
+        b.adopted_ptrs = vec![42];
+        b.aff_sent = 5;
+        b.mig_pushed = 0;
+        let snaps = vec![a, b];
+        assert!(check_completed(&snaps, false).is_empty());
+    }
+
+    #[test]
+    fn migration_leak_detected() {
+        let mut s = clean(0);
+        s.mig_pushed = 3;
+        s.mig_sent = 2; // one shipment vanished
+        let v = check_conservation(&[s]);
+        assert!(matches!(v[0], Violation::MigrationLeak { node: 0, .. }));
+        assert!(v[0].to_string().contains("migration conservation"));
+    }
+
+    #[test]
+    fn forwarding_chain_bound_is_checked() {
+        let mut s = clean(2);
+        s.adopted_ptrs = vec![7];
+        s.departed_ptrs = vec![7]; // adopted here, then shipped on: chain of 2
+        let v = check_conservation(std::slice::from_ref(&s));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::ForwardChainTooLong { node: 2, ptr: 7 })));
+    }
+
+    #[test]
+    fn adoption_needs_a_stub_somewhere() {
+        let mut a = clean(0);
+        a.adopted_ptrs = vec![9]; // nobody departed 9
+        let v = check_conservation(&[a, clean(1)]);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::AdoptionWithoutStub { node: 0, ptr: 9 })));
+    }
+
+    #[test]
+    fn double_adoption_detected() {
+        let mut a = clean(0);
+        a.departed_ptrs = vec![5];
+        let mut b = clean(1);
+        b.adopted_ptrs = vec![5];
+        let mut c = clean(2);
+        c.adopted_ptrs = vec![5];
+        let v = check_conservation(&[a, b, c]);
+        assert!(v.iter().any(
+            |v| matches!(v, Violation::ObjectDoubleAdopted { ptr: 5, nodes } if nodes == &[1, 2])
+        ));
+    }
+
+    #[test]
+    fn repeated_snapshots_of_one_adopter_are_not_double_adoption() {
+        // Multi-phase runs snapshot the same node once per phase; the
+        // carried table makes the adoption show up repeatedly. That is one
+        // adopter, not two.
+        let mut a = clean(0);
+        a.departed_ptrs = vec![5];
+        let mut b1 = clean(1);
+        b1.adopted_ptrs = vec![5];
+        let b2 = b1.clone();
+        let v = check_conservation(&[a, b1, b2]);
+        assert!(
+            !v.iter().any(|v| matches!(v, Violation::ObjectDoubleAdopted { .. })),
+            "got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn lost_object_and_stranded_orphans_flagged_on_lossless_runs_only() {
+        let mut a = clean(0);
+        a.departed_ptrs = vec![11]; // Migrate dropped: nobody adopted
+        let mut b = clean(1);
+        b.orphans_pending = 2;
+        let snaps = vec![a, b];
+        assert!(check_completed(&snaps, true).is_empty(), "lossy run tolerates both");
+        let v = check_completed(&snaps, false);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::ObjectLost { node: 0, ptr: 11 })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::OrphanNotServed { node: 1, count: 2 })));
+    }
+
+    #[test]
+    fn affinity_conservation_on_lossless_runs() {
+        let mut a = clean(0);
+        a.aff_sent = 10;
+        let mut b = clean(1);
+        b.aff_recv = 7; // three entries lost
+        let snaps = vec![a, b];
+        assert!(check_completed(&snaps, true).is_empty());
+        assert!(check_completed(&snaps, false)
+            .iter()
+            .any(|v| matches!(v, Violation::AffinityLeak { sent: 10, recv: 7 })));
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod synth;
 pub mod work;
 
 pub use config::{CostModel, DpaConfig, Variant};
-pub use driver::{run_phase, run_phase_dst, run_phase_faulty, run_phase_traced, DstOptions};
+pub use driver::{
+    run_phase, run_phase_dst, run_phase_faulty, run_phase_migrating, run_phase_traced, DstOptions,
+};
 pub use invariant::{check_completed, check_conservation, NodeSnapshot, Violation};
 pub use mapping::PointerMap;
 pub use msg::DpaMsg;

@@ -34,6 +34,41 @@ pub enum DpaMsg {
         /// The `(pointer, contribution)` entries to fold in.
         entries: Vec<(GPtr, f64)>,
     },
+    /// Affinity report: "my threads dereferenced your objects this often."
+    /// Sent by a consumer to an object's believed home at each migration
+    /// epoch; entries are `(pointer, remote dereference count)` deltas
+    /// sampled from the sender's M mapping. Purely advisory (losing one
+    /// only weakens the migration signal), but deduplicated on
+    /// `(sender, seq)` so duplicated deliveries cannot inflate counts.
+    Affinity {
+        /// Per-sender monotone sequence number (dedup key).
+        seq: u64,
+        /// The `(pointer, dereference count)` deltas.
+        entries: Vec<(GPtr, u32)>,
+    },
+    /// Object migration: the owner ships high-affinity objects to their
+    /// dominant consumer, which adopts them and serves subsequent reads.
+    /// Each entry is `(pointer, payload bytes)` — like a reply, the data
+    /// travels implicitly and the size drives wire cost. Adoption must be
+    /// exactly-once in effect, so entries dedup on `(sender, seq)` and
+    /// adoption itself is idempotent.
+    Migrate {
+        /// Per-sender monotone sequence number (dedup key).
+        seq: u64,
+        /// The `(pointer, payload bytes)` objects changing home.
+        entries: Vec<(GPtr, u32)>,
+    },
+    /// One-hop forwarding of a request that reached a birth home after its
+    /// object departed: the stub owner passes the wanted pointers to the
+    /// new home together with the original requester, which receives the
+    /// reply directly. An adopted object never migrates again, so a
+    /// request chases at most one `Forward`.
+    Forward {
+        /// The node whose request hit the forwarding stub (reply target).
+        requester: u16,
+        /// The departed objects it wants.
+        entries: Vec<GPtr>,
+    },
 }
 
 impl DpaMsg {
@@ -43,6 +78,9 @@ impl DpaMsg {
             DpaMsg::Request(v) => v.len(),
             DpaMsg::Reply(v) => v.len(),
             DpaMsg::Update { entries, .. } => entries.len(),
+            DpaMsg::Affinity { entries, .. } => entries.len(),
+            DpaMsg::Migrate { entries, .. } => entries.len(),
+            DpaMsg::Forward { entries, .. } => entries.len(),
         }
     }
 }
@@ -56,6 +94,14 @@ impl MsgSize for DpaMsg {
                 .map(|&(_, size)| size + GPtr::WIRE_BYTES)
                 .sum(),
             DpaMsg::Update { entries, .. } => (entries.len() as u32) * (GPtr::WIRE_BYTES + 8),
+            // Pointer + 4-byte count per affinity delta; seq in the header.
+            DpaMsg::Affinity { entries, .. } => (entries.len() as u32) * (GPtr::WIRE_BYTES + 4),
+            // Migration carries the object payload, reply-style.
+            DpaMsg::Migrate { entries, .. } => {
+                entries.iter().map(|&(_, size)| size + GPtr::WIRE_BYTES).sum()
+            }
+            // Requester id rides in the header; entries are bare pointers.
+            DpaMsg::Forward { entries, .. } => (entries.len() as u32) * GPtr::WIRE_BYTES,
         }
     }
 }
@@ -105,6 +151,33 @@ mod tests {
         };
         assert_eq!(m.size_bytes(), 2 * 16);
         assert_eq!(m.entries(), 2);
+    }
+
+    #[test]
+    fn migration_messages_size_like_their_payloads() {
+        let aff = DpaMsg::Affinity {
+            seq: 3,
+            entries: vec![(p(1), 17), (p(2), 4)],
+        };
+        assert_eq!(aff.size_bytes(), 2 * 12, "pointer + count per delta");
+        assert_eq!(aff.entries(), 2);
+
+        let mig = DpaMsg::Migrate {
+            seq: 1,
+            entries: vec![(p(1), 96), (p(2), 48)],
+        };
+        assert_eq!(
+            mig.size_bytes(),
+            96 + 48 + 16,
+            "migration ships object payloads like a reply"
+        );
+
+        let fwd = DpaMsg::Forward {
+            requester: 3,
+            entries: vec![p(1), p(2), p(3)],
+        };
+        assert_eq!(fwd.size_bytes(), 24, "forward re-sends bare pointers");
+        assert_eq!(fwd.entries(), 3);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::config::DpaConfig;
 use crate::msg::DpaMsg;
 use crate::work::PtrApp;
 use fastmsg::packets_for;
-use global_heap::GPtr;
+use global_heap::{GPtr, MigrationTable};
 use sim_net::{Ctx, NodeId};
 
 /// What one request-service call put on the wire.
@@ -45,15 +45,29 @@ pub(crate) fn charge_extra_packets(cfg: &DpaConfig, ctx: &mut Ctx<'_, DpaMsg>, p
 
 /// Charge per-object lookup and resolve `ptrs` to `(pointer, size)` reply
 /// entries.
+///
+/// `mig` is the serving node's migration table (`None` when migration is
+/// off): a node legitimately serves objects it was born with *and has not
+/// shipped away*, plus objects it has adopted. Anything else reaching this
+/// point is a routing bug — departed objects must take the forwarding
+/// path, and not-yet-adopted objects must wait in the orphan queue.
 pub(crate) fn lookup_entries<A: PtrApp>(
     app: &A,
     cfg: &DpaConfig,
     ctx: &mut Ctx<'_, DpaMsg>,
     ptrs: Vec<GPtr>,
+    mig: Option<&MigrationTable>,
 ) -> Vec<(GPtr, u32)> {
     ptrs.into_iter()
         .map(|p| {
-            debug_assert!(p.is_local_to(ctx.me().0), "request for non-owned object");
+            debug_assert!(
+                match mig {
+                    None => p.is_local_to(ctx.me().0),
+                    Some(m) =>
+                        (p.is_local_to(ctx.me().0) && !m.is_departed(p)) || m.is_adopted(p),
+                },
+                "request for non-owned object {p}"
+            );
             ctx.charge_overhead(cfg.cost.owner_lookup_ns);
             (p, app.object_size(p))
         })
@@ -87,12 +101,13 @@ pub(crate) fn service_request<A: PtrApp>(
     ctx: &mut Ctx<'_, DpaMsg>,
     src: NodeId,
     ptrs: Vec<GPtr>,
+    mig: Option<&MigrationTable>,
 ) -> ReplyAccounting {
     let mtu = cfg.mtu.0;
     let mut acct = ReplyAccounting::default();
     let mut chunk: Vec<(GPtr, u32)> = Vec::new();
     let mut chunk_bytes = 0u32;
-    for (p, size) in lookup_entries(app, cfg, ctx, ptrs) {
+    for (p, size) in lookup_entries(app, cfg, ctx, ptrs, mig) {
         let entry = size + GPtr::WIRE_BYTES;
         if !chunk.is_empty() && chunk_bytes + entry > mtu {
             acct.msgs += 1;

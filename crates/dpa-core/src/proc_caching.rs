@@ -312,7 +312,9 @@ impl<A: PtrApp> Proc for CachingProc<A> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, msg: DpaMsg) {
         match msg {
             DpaMsg::Request(ptrs) => {
-                let acct = crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs);
+                // The baselines never migrate, so no table is passed.
+                let acct =
+                    crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs, None);
                 self.reply_msgs += acct.msgs;
                 self.reply_entries += acct.entries;
             }
@@ -355,6 +357,9 @@ impl<A: PtrApp> Proc for CachingProc<A> {
                     });
                     self.drive(ctx);
                 }
+            }
+            DpaMsg::Affinity { .. } | DpaMsg::Migrate { .. } | DpaMsg::Forward { .. } => {
+                unreachable!("baselines never enable migration, so nobody sends these")
             }
         }
     }

@@ -39,6 +39,22 @@
 //! Long drives are sliced at `poll_interval_ns` of simulated time so the
 //! node services incoming requests at realistic polling granularity (the
 //! paper notes poll placement was hand-tuned in their codes).
+//!
+//! # Data-side alignment (object migration)
+//!
+//! With `migration_epoch_ns > 0` the driver additionally runs the
+//! locality-driven *object migration* protocol (see
+//! `global_heap::migrate`): requesters sample per-pointer remote
+//! dereference counts from their M mapping at align time and ship them to
+//! the believed home in `Affinity` messages at every epoch wake; owners
+//! accumulate the counts and, at their own epoch wakes, `depart` objects
+//! whose dominant consumer crossed `migration_threshold` (bounded by
+//! `migration_budget` per phase), batching the shipments through a third
+//! [`ByteCoalescer`]. A request that reaches a birth home after its object
+//! departed is forwarded one hop (`Forward`); a forward that outruns its
+//! `Migrate` parks in an orphan queue until adoption. All of it is off by
+//! default and every fan-out iterates in sorted order, so baseline runs
+//! and replays stay bit-identical.
 
 use crate::config::{DpaConfig, Variant};
 use crate::invariant::NodeSnapshot;
@@ -47,7 +63,7 @@ use crate::msg::DpaMsg;
 use crate::pending::PendingRequests;
 use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
 use fastmsg::{ByteCoalescer, Coalescer};
-use global_heap::{ArrivalSet, GPtr};
+use global_heap::{ArrivalSet, GPtr, MigrationTable};
 use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -81,6 +97,46 @@ pub struct DpaProc<A: PtrApp> {
     /// simulated ns. Wakes cannot be cancelled, so this only suppresses
     /// arming a *later* duplicate; a stale earlier wake fires harmlessly.
     flush_wake_at: Option<u64>,
+    /// Migration state (`Some` iff `cfg.migration_enabled()`): adopted /
+    /// departed / learned overrides plus owner-side affinity counts.
+    mig: Option<MigrationTable>,
+    /// Requester-side affinity deltas sampled at align time, awaiting the
+    /// next epoch report (one count per aligned thread).
+    aff_pending: HashMap<GPtr, u32>,
+    /// Owner-side migration shipment batching (per new home).
+    mig_coal: ByteCoalescer<(GPtr, u32)>,
+    /// Forwarded requests that outran their `Migrate`: pointer → waiting
+    /// requesters, served the moment adoption lands.
+    orphans: HashMap<GPtr, Vec<u16>>,
+    /// Next migration-epoch wake in simulated ns (`None` when disabled or
+    /// after this node finished its iterations).
+    next_epoch_at: Option<u64>,
+    /// `migrations_out` of the carried-in table, so `migration_budget`
+    /// bounds what *this phase* ships rather than the whole run.
+    mig_out_at_start: u64,
+    /// `(sender, seq)` dedup for Affinity / Migrate messages.
+    seen_affinity: HashSet<(u16, u64)>,
+    seen_migrates: HashSet<(u16, u64)>,
+    /// Objects installed (a pending request completed with data — by a
+    /// reply or by an adoption that doubled as one). Equals
+    /// `arrived.total_inserts()` whenever migration is off.
+    installs: u64,
+    /// Affinity messages sent; doubles as the per-sender seq counter.
+    affinity_msgs: u64,
+    /// Migrate messages sent; doubles as the per-sender seq counter.
+    migrate_msgs: u64,
+    forward_msgs: u64,
+    aff_entries_sent: u64,
+    /// Affinity entries received after seq-dedup (conservation partner of
+    /// `aff_entries_sent`; counted whether or not the table keeps them).
+    aff_entries_recv: u64,
+    /// Migration entries committed for shipping (stub installed).
+    mig_entries_pushed: u64,
+    /// Migration entries put on the wire.
+    mig_entries_sent: u64,
+    forwarded_entries: u64,
+    orphans_total: u64,
+    orphans_served: u64,
     /// Live work count per open iteration.
     iter_live: HashMap<u32, u32>,
     next_iter: usize,
@@ -89,7 +145,10 @@ pub struct DpaProc<A: PtrApp> {
     threads_created: u64,
     peak_stack: u64,
     /// Objects with requests currently in flight (sent, reply pending).
-    in_flight: usize,
+    /// A set rather than a count: with migration an adoption can complete
+    /// a pending request whose wire reply (possibly forwarded) arrives
+    /// later, and set removal stays exact where a counter would drift.
+    in_flight: HashSet<GPtr>,
     peak_in_flight: u64,
     request_msgs: u64,
     reply_msgs: u64,
@@ -133,6 +192,8 @@ impl<A: PtrApp> DpaProc<A> {
         let coal = Coalescer::new(nodes, cfg.agg_window);
         let upd_coal = ByteCoalescer::new(nodes, cfg.mtu.0 as u64, cfg.agg_window);
         let reply_coal = ByteCoalescer::new(nodes, cfg.mtu.0 as u64, cfg.reply_agg_window);
+        let mig_coal = ByteCoalescer::new(nodes, cfg.mtu.0 as u64, cfg.agg_window);
+        let mig = cfg.migration_enabled().then(MigrationTable::new);
         DpaProc {
             app,
             cfg,
@@ -145,13 +206,32 @@ impl<A: PtrApp> DpaProc<A> {
             upd_coal,
             reply_coal,
             flush_wake_at: None,
+            mig,
+            aff_pending: HashMap::new(),
+            mig_coal,
+            orphans: HashMap::new(),
+            next_epoch_at: None,
+            mig_out_at_start: 0,
+            seen_affinity: HashSet::new(),
+            seen_migrates: HashSet::new(),
+            installs: 0,
+            affinity_msgs: 0,
+            migrate_msgs: 0,
+            forward_msgs: 0,
+            aff_entries_sent: 0,
+            aff_entries_recv: 0,
+            mig_entries_pushed: 0,
+            mig_entries_sent: 0,
+            forwarded_entries: 0,
+            orphans_total: 0,
+            orphans_served: 0,
             iter_live: HashMap::new(),
             next_iter: 0,
             total_iters,
             completed_iters: 0,
             threads_created: 0,
             peak_stack: 0,
-            in_flight: 0,
+            in_flight: HashSet::new(),
             peak_in_flight: 0,
             request_msgs: 0,
             reply_msgs: 0,
@@ -173,6 +253,33 @@ impl<A: PtrApp> DpaProc<A> {
         &self.app
     }
 
+    /// Install a migration table carried over from the previous phase
+    /// (driver use, before the machine starts). Adopted objects are
+    /// preloaded into the arrival set — their payloads really do occupy
+    /// renamed storage here — without counting as phase fetches.
+    pub fn set_migration(&mut self, mig: MigrationTable) {
+        assert!(
+            self.cfg.migration_enabled(),
+            "set_migration on a config with migration disabled"
+        );
+        for (bits, size) in mig.adopted_entries() {
+            self.arrived.preload(GPtr::from_bits(bits), size);
+        }
+        self.mig_out_at_start = mig.migrations_out();
+        self.mig = Some(mig);
+    }
+
+    /// The node's migration table, when migration is enabled.
+    pub fn migration(&self) -> Option<&MigrationTable> {
+        self.mig.as_ref()
+    }
+
+    /// Take the migration table for cross-phase hand-off (driver use,
+    /// after the machine stops).
+    pub fn take_migration(&mut self) -> Option<MigrationTable> {
+        self.mig.take()
+    }
+
     /// Completed top-level iterations.
     pub fn completed_iterations(&self) -> u64 {
         self.completed_iters
@@ -183,15 +290,22 @@ impl<A: PtrApp> DpaProc<A> {
     /// itself does not know it outside a message context).
     pub fn snapshot(&self, node: u16) -> NodeSnapshot {
         let held_entries: usize = self.held.iter().map(|(_, b)| b.len()).sum();
+        let (adopted_ptrs, departed_ptrs) = match &self.mig {
+            Some(m) => (
+                m.adopted_entries().into_iter().map(|(b, _)| b).collect(),
+                m.departed_entries().into_iter().map(|(b, _)| b).collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
         NodeSnapshot {
             node,
             map_keys: self.map.keys(),
             map_threads: self.map.live_threads(),
             pending_requests: self.pending.len(),
             pending_sample: self.pending.iter().take(4).map(|p| p.to_string()).collect(),
-            in_flight: self.in_flight,
+            in_flight: self.in_flight.len(),
             requests_issued: self.pending.total(),
-            objects_installed: self.arrived.total_inserts(),
+            objects_installed: self.installs,
             req_pushed: self.coal.total_pushed(),
             req_sent: self.request_entries_sent,
             req_buffered: self.coal.pending() + held_entries,
@@ -205,6 +319,14 @@ impl<A: PtrApp> DpaProc<A> {
             request_msgs: self.request_msgs,
             reply_msgs: self.reply_msgs,
             update_msgs: self.update_msgs,
+            aff_sent: self.aff_entries_sent,
+            aff_recv: self.aff_entries_recv,
+            mig_pushed: self.mig_entries_pushed,
+            mig_sent: self.mig_entries_sent,
+            mig_buffered: self.mig_coal.pending(),
+            orphans_pending: self.orphans.values().map(Vec::len).sum(),
+            adopted_ptrs,
+            departed_ptrs,
         }
     }
 
@@ -251,19 +373,32 @@ impl<A: PtrApp> DpaProc<A> {
                     self.stack.push(Tagged { iter, work });
                 }
                 Emit::Demand(ptr, work) => {
-                    if ptr.is_local_to(me) || self.arrived.contains(ptr) {
+                    // Resolve the current home: birth node unless migration
+                    // re-homed the object (adopted here → local; departed /
+                    // learned override → the new home, skipping the stub).
+                    let home = match &self.mig {
+                        Some(m) => m.home_of(ptr, me),
+                        None => ptr.node(),
+                    };
+                    if home == me || self.arrived.contains(ptr) {
                         // Data already here: immediately ready.
                         self.stack.push(Tagged { iter, work });
                     } else {
                         ctx.charge_overhead(self.cfg.cost.map_update_ns + self.pressure());
                         let first = self.map.align(ptr, Tagged { iter, work });
+                        if self.mig.is_some() {
+                            // Affinity signal: one count per aligned thread
+                            // (the M-mapping population, not messages).
+                            *self.aff_pending.entry(ptr).or_insert(0) += 1;
+                            self.arm_epoch(ctx);
+                        }
                         if first && self.pending.insert(ptr) {
                             ctx.charge_overhead(self.cfg.cost.request_entry_ns);
-                            if let Some(batch) = self.coal.push(ptr.node(), ptr) {
+                            if let Some(batch) = self.coal.push(home, ptr) {
                                 if self.cfg.pipeline && self.can_send() {
-                                    self.send_request(ctx, ptr.node(), batch);
+                                    self.send_request(ctx, home, batch);
                                 } else {
-                                    self.held.push_back((ptr.node(), batch));
+                                    self.held.push_back((home, batch));
                                 }
                             }
                         }
@@ -299,7 +434,9 @@ impl<A: PtrApp> DpaProc<A> {
     /// batches the push forces out (budget/window full, oversized entry).
     fn enqueue_replies(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, ptrs: Vec<GPtr>) {
         let now = ctx.now().as_ns();
-        for (p, size) in crate::owner::lookup_entries(&self.app, &self.cfg, ctx, ptrs) {
+        for (p, size) in
+            crate::owner::lookup_entries(&self.app, &self.cfg, ctx, ptrs, self.mig.as_ref())
+        {
             self.reply_entries_pushed += 1;
             let entry_bytes = (size + GPtr::WIRE_BYTES) as u64;
             for batch in self.reply_coal.push(src.0, (p, size), entry_bytes, now) {
@@ -323,6 +460,9 @@ impl<A: PtrApp> DpaProc<A> {
         for (dst, batch) in self.upd_coal.take_due(now, deadline) {
             self.send_update(ctx, dst, batch);
         }
+        for (dst, batch) in self.mig_coal.take_due(now, deadline) {
+            self.send_migrate(ctx, dst, batch);
+        }
         self.ensure_flush_wake(ctx);
     }
 
@@ -332,13 +472,14 @@ impl<A: PtrApp> DpaProc<A> {
     /// stranded: every enqueue path ends with a wake at its deadline.
     fn ensure_flush_wake(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
         let deadline = self.cfg.reply_flush_deadline_ns;
-        let due = match (
+        let due = [
             self.reply_coal.next_due(deadline),
             self.upd_coal.next_due(deadline),
-        ) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
+            self.mig_coal.next_due(deadline),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
         if let Some(due) = due {
             let rearm = match self.flush_wake_at {
                 None => true,
@@ -350,6 +491,193 @@ impl<A: PtrApp> DpaProc<A> {
                 ctx.wake_after(Dur::from_ns(due.saturating_sub(now)));
             }
         }
+    }
+
+    /// Report the affinity deltas sampled since the last epoch to each
+    /// object's believed home (sorted fan-out for determinism). Entries
+    /// whose home turns out to be this node (an override learned or an
+    /// adoption that landed mid-epoch) are dropped — local dereferences
+    /// are not migration signal.
+    fn send_affinity(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        if self.aff_pending.is_empty() {
+            return;
+        }
+        let me = ctx.me().0;
+        let mut per_dst: HashMap<u16, Vec<(GPtr, u32)>> = HashMap::new();
+        for (ptr, n) in self.aff_pending.drain() {
+            let home = match &self.mig {
+                Some(m) => m.home_of(ptr, me),
+                None => ptr.node(),
+            };
+            if home != me {
+                per_dst.entry(home).or_default().push((ptr, n));
+            }
+        }
+        let mut dsts: Vec<u16> = per_dst.keys().copied().collect();
+        dsts.sort_unstable();
+        for dst in dsts {
+            let mut entries = per_dst.remove(&dst).expect("key from this map");
+            entries.sort_unstable_by_key(|&(p, _)| p.bits());
+            ctx.charge_overhead(self.cfg.cost.request_entry_ns * entries.len() as u64);
+            let seq = self.affinity_msgs;
+            self.affinity_msgs += 1;
+            self.aff_entries_sent += entries.len() as u64;
+            ctx.send(NodeId(dst), DpaMsg::Affinity { seq, entries });
+        }
+    }
+
+    /// Owner-side epoch step: commit this epoch's migration picks (stub
+    /// installed *before* the shipment leaves, so a racing request can only
+    /// forward, never double-serve) and batch them to their new homes.
+    fn ship_migrations(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        let Some(m) = self.mig.as_ref() else { return };
+        let used = (m.migrations_out() - self.mig_out_at_start) as usize;
+        let remaining = self.cfg.migration_budget.saturating_sub(used);
+        if remaining == 0 {
+            return;
+        }
+        let picks = m.pick_migrations(self.cfg.migration_threshold, remaining);
+        let now = ctx.now().as_ns();
+        for mv in picks {
+            let size = self.app.object_size(mv.ptr);
+            let m = self.mig.as_mut().expect("checked above");
+            if !m.depart(mv.ptr, mv.to) {
+                continue;
+            }
+            // The sender keeps a read replica for the rest of the phase:
+            // objects are phase-immutable, and local threads already routed
+            // to this (former) home may not have run yet. New ownership —
+            // and the next phase's routing — moves with the stub.
+            self.arrived.preload(mv.ptr, size);
+            self.mig_entries_pushed += 1;
+            ctx.charge_overhead(self.cfg.cost.owner_lookup_ns);
+            let entry_bytes = (size + GPtr::WIRE_BYTES) as u64;
+            for batch in self.mig_coal.push(mv.to, (mv.ptr, size), entry_bytes, now) {
+                self.send_migrate(ctx, mv.to, batch);
+            }
+        }
+        self.ensure_flush_wake(ctx);
+    }
+
+    fn send_migrate(&mut self, ctx: &mut Ctx<'_, DpaMsg>, dst: u16, batch: Vec<(GPtr, u32)>) {
+        debug_assert!(!batch.is_empty());
+        let payload = crate::owner::reply_payload_bytes(&batch);
+        crate::owner::charge_extra_packets(&self.cfg, ctx, payload);
+        let seq = self.migrate_msgs;
+        self.migrate_msgs += 1;
+        self.mig_entries_sent += batch.len() as u64;
+        ctx.send(NodeId(dst), DpaMsg::Migrate { seq, entries: batch });
+    }
+
+    /// Split an incoming request into the part this node can serve, the
+    /// part that must chase forwarding stubs (one `Forward` per new home,
+    /// sorted for determinism), and the part that raced ahead of a
+    /// `Migrate` still in flight — a consumer with a learned override, or
+    /// the old home's own stub, can address this node directly before the
+    /// shipment lands; those park in the orphan queue exactly like a
+    /// forward that outran its shipment. Pass-through when migration is
+    /// off.
+    fn triage_request(
+        &mut self,
+        ctx: &mut Ctx<'_, DpaMsg>,
+        src: NodeId,
+        ptrs: Vec<GPtr>,
+    ) -> Vec<GPtr> {
+        if self.mig.is_none() {
+            return ptrs;
+        }
+        let me = ctx.me().0;
+        let mut serve = Vec::with_capacity(ptrs.len());
+        let mut fwd: HashMap<u16, Vec<GPtr>> = HashMap::new();
+        let mut early: Vec<GPtr> = Vec::new();
+        {
+            let m = self.mig.as_ref().expect("checked above");
+            for p in ptrs {
+                if let Some(to) = m.forward_target(p) {
+                    fwd.entry(to).or_default().push(p);
+                } else if p.is_local_to(me) || m.is_adopted(p) {
+                    serve.push(p);
+                } else {
+                    early.push(p);
+                }
+            }
+        }
+        for p in early {
+            self.orphans.entry(p).or_default().push(src.0);
+            self.orphans_total += 1;
+        }
+        let mut targets: Vec<u16> = fwd.keys().copied().collect();
+        targets.sort_unstable();
+        for to in targets {
+            let mut entries = fwd.remove(&to).expect("key from this map");
+            entries.sort_unstable_by_key(|p| p.bits());
+            ctx.charge_overhead(self.cfg.cost.request_entry_ns * entries.len() as u64);
+            self.forward_msgs += 1;
+            self.forwarded_entries += entries.len() as u64;
+            ctx.send(
+                NodeId(to),
+                DpaMsg::Forward {
+                    requester: src.0,
+                    entries,
+                },
+            );
+        }
+        serve
+    }
+
+    /// Answer forwarded pointers this node has adopted, on behalf of
+    /// `requester`. A requester other than this node goes through the
+    /// normal owner reply machinery; `requester == me` means our own
+    /// pre-migration request chased the object here — install it directly,
+    /// as if the reply had arrived.
+    fn answer_forwarded(&mut self, ctx: &mut Ctx<'_, DpaMsg>, requester: u16, ptrs: Vec<GPtr>) {
+        let me = ctx.me();
+        if requester == me.0 {
+            let objs: Vec<(GPtr, u32)> = ptrs
+                .into_iter()
+                .map(|p| (p, self.app.object_size(p)))
+                .collect();
+            self.install_reply(ctx, me, objs);
+            return;
+        }
+        if self.cfg.reply_agg_window > 1 && !self.stack.is_empty() && !self.done {
+            self.enqueue_replies(ctx, NodeId(requester), ptrs);
+        } else {
+            let acct = crate::owner::service_request(
+                &self.app,
+                &self.cfg,
+                ctx,
+                NodeId(requester),
+                ptrs,
+                self.mig.as_ref(),
+            );
+            self.reply_msgs += acct.msgs;
+            self.reply_entries_pushed += acct.entries;
+            self.reply_entries_sent += acct.entries;
+        }
+    }
+
+    /// One migration epoch: report sampled affinity, then ship this
+    /// owner's picks.
+    fn run_epoch(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        self.send_affinity(ctx);
+        self.ship_migrations(ctx);
+    }
+
+    /// Arm the next migration-epoch wake unless one is already armed.
+    /// Epochs are event-driven: armed when signal appears (a sampled
+    /// remote align, a received affinity report) and re-armed after an
+    /// epoch only while epochs keep producing messages. A free-running
+    /// timer would keep a stalled machine's event queue alive forever,
+    /// turning a lost message into a livelock instead of a diagnosable
+    /// stall.
+    fn arm_epoch(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        if self.mig.is_none() || self.done || self.next_epoch_at.is_some() {
+            return;
+        }
+        let epoch = self.cfg.migration_epoch_ns;
+        self.next_epoch_at = Some(ctx.now().as_ns() + epoch);
+        ctx.wake_after(Dur::from_ns(epoch));
     }
 
     fn finish_one_work(&mut self, iter: u32) {
@@ -368,7 +696,12 @@ impl<A: PtrApp> DpaProc<A> {
         while self.iter_live.len() < self.cfg.strip_size && self.next_iter < self.total_iters {
             let iter = self.next_iter as u32;
             self.next_iter += 1;
-            let mut env = WorkEnv::new(ctx.me().0, ctx.num_nodes(), Avail::Arrived(&self.arrived));
+            let mut env = WorkEnv::with_migration(
+                ctx.me().0,
+                ctx.num_nodes(),
+                Avail::Arrived(&self.arrived),
+                self.mig.as_ref(),
+            );
             self.app.start_iteration(iter as usize, &mut env);
             let (ns, emits) = env.finish();
             ctx.charge_local(ns);
@@ -384,8 +717,10 @@ impl<A: PtrApp> DpaProc<A> {
     fn send_request(&mut self, ctx: &mut Ctx<'_, DpaMsg>, dst: u16, batch: Vec<GPtr>) {
         debug_assert!(!batch.is_empty());
         debug_assert!(dst != ctx.me().0, "self-requests must be routed locally");
-        self.in_flight += batch.len();
-        self.peak_in_flight = self.peak_in_flight.max(self.in_flight as u64);
+        for p in &batch {
+            self.in_flight.insert(*p);
+        }
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight.len() as u64);
         self.request_msgs += 1;
         self.request_entries_sent += batch.len() as u64;
         ctx.send(NodeId(dst), DpaMsg::Request(batch));
@@ -395,26 +730,40 @@ impl<A: PtrApp> DpaProc<A> {
     /// batch is always allowed when nothing is in flight.
     #[inline]
     fn can_send(&self) -> bool {
-        self.in_flight == 0 || self.in_flight < self.cfg.max_outstanding
+        self.in_flight.is_empty() || self.in_flight.len() < self.cfg.max_outstanding
     }
 
     /// Requester side: install arrived objects and release their aligned
     /// threads (tiling: they will run consecutively).
     ///
     /// Idempotent: a duplicated reply (fault injection) finds the object
-    /// already in the arrival set and changes nothing — no double release,
-    /// no D/in-flight corruption. The handler overhead is still charged
-    /// (the CPU really does re-hash the pointer before discovering the dup).
-    fn install_reply(&mut self, ctx: &mut Ctx<'_, DpaMsg>, objs: Vec<(GPtr, u32)>) {
+    /// already in the arrival set with its request completed and changes
+    /// nothing — no double release, no D corruption. The handler overhead
+    /// is still charged (the CPU really does re-hash the pointer before
+    /// discovering the dup). With migration on, a reply arriving from a
+    /// node other than the birth home reveals a re-homing (the serving node
+    /// is the adoptee), which is how consumers learn to skip the forwarding
+    /// hop next phase.
+    fn install_reply(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, objs: Vec<(GPtr, u32)>) {
         for (ptr, size) in objs {
             ctx.charge_overhead(self.cfg.cost.reply_install_ns + self.pressure());
+            if let Some(m) = self.mig.as_mut() {
+                if src.0 != ptr.node() {
+                    m.learn_override(ptr, src.0);
+                }
+            }
+            // The wire reply (even a redundant one) retires the in-flight
+            // request for this object.
+            self.in_flight.remove(&ptr);
             let fresh = self.arrived.insert(ptr, size);
-            if !fresh {
+            if !fresh && !self.pending.contains(ptr) {
+                // Duplicated reply, or the object was already installed by
+                // an adoption that completed the request.
                 continue;
             }
-            self.in_flight = self.in_flight.saturating_sub(1);
             let was_pending = self.pending.complete(ptr);
             debug_assert!(was_pending, "unsolicited reply for {ptr}");
+            self.installs += 1;
             let released = self.map.release(ptr);
             self.stack.extend(released);
         }
@@ -430,8 +779,12 @@ impl<A: PtrApp> DpaProc<A> {
             // Execute ready threads (and keep the admission window full).
             while let Some(t) = self.stack.pop() {
                 ctx.charge_overhead(self.cfg.cost.resume_ns + self.pressure());
-                let mut env =
-                    WorkEnv::new(ctx.me().0, ctx.num_nodes(), Avail::Arrived(&self.arrived));
+                let mut env = WorkEnv::with_migration(
+                    ctx.me().0,
+                    ctx.num_nodes(),
+                    Avail::Arrived(&self.arrived),
+                    self.mig.as_ref(),
+                );
                 self.app.run_work(t.work, &mut env);
                 let (ns, emits) = env.finish();
                 ctx.charge_local(ns);
@@ -465,6 +818,10 @@ impl<A: PtrApp> DpaProc<A> {
             for (dst, batch) in upd {
                 self.send_update(ctx, dst, batch);
             }
+            let migs = self.mig_coal.drain_all();
+            for (dst, batch) in migs {
+                self.send_migrate(ctx, dst, batch);
+            }
             if self.cfg.pipeline {
                 while self.can_send() {
                     if let Some((dst, batch)) = self.held.pop_front() {
@@ -485,14 +842,27 @@ impl<A: PtrApp> DpaProc<A> {
             }
 
             // Finished? (Nothing ready, nothing admitted, nothing owed.)
+            // With migration, an adoption can complete a pending request
+            // whose pointer still sits in the request buffers or on the
+            // wire, so the buffers and in-flight set are part of the
+            // condition rather than implied by `pending` being empty.
             if self.next_iter == self.total_iters
                 && self.iter_live.is_empty()
                 && self.pending.is_empty()
+                && self.in_flight.is_empty()
+                && self.coal.is_empty()
+                && self.held.is_empty()
             {
+                if self.mig.is_some() {
+                    // Final affinity report: owners fold the tail of this
+                    // phase's signal into the next boundary's decisions.
+                    self.send_affinity(ctx);
+                    self.next_epoch_at = None;
+                }
                 debug_assert!(self.map.is_empty());
-                debug_assert!(self.coal.is_empty() && self.held.is_empty());
                 debug_assert!(self.upd_coal.is_empty());
                 debug_assert!(self.reply_coal.is_empty());
+                debug_assert!(self.mig_coal.is_empty());
                 self.done = true;
             }
             return;
@@ -504,6 +874,11 @@ impl<A: PtrApp> Proc for DpaProc<A> {
     type Msg = DpaMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        if self.cfg.migration_enabled() {
+            let epoch = self.cfg.migration_epoch_ns;
+            self.next_epoch_at = Some(ctx.now().as_ns() + epoch);
+            ctx.wake_after(Dur::from_ns(epoch));
+        }
         self.admit(ctx);
         self.drive(ctx);
     }
@@ -511,6 +886,11 @@ impl<A: PtrApp> Proc for DpaProc<A> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, msg: DpaMsg) {
         match msg {
             DpaMsg::Request(ptrs) => {
+                // Requests for departed objects chase their stub one hop.
+                let ptrs = self.triage_request(ctx, src, ptrs);
+                if ptrs.is_empty() {
+                    return;
+                }
                 // Adaptive policy: buffer replies only while local work is
                 // in progress (the buffering overlaps it, bounded by the
                 // deadline wake); an idle or finished owner answers
@@ -518,14 +898,21 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                 if self.cfg.reply_agg_window > 1 && !self.stack.is_empty() && !self.done {
                     self.enqueue_replies(ctx, src, ptrs);
                 } else {
-                    let acct = crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs);
+                    let acct = crate::owner::service_request(
+                        &self.app,
+                        &self.cfg,
+                        ctx,
+                        src,
+                        ptrs,
+                        self.mig.as_ref(),
+                    );
                     self.reply_msgs += acct.msgs;
                     self.reply_entries_pushed += acct.entries;
                     self.reply_entries_sent += acct.entries;
                 }
             }
             DpaMsg::Reply(objs) => {
-                self.install_reply(ctx, objs);
+                self.install_reply(ctx, src, objs);
                 self.drive(ctx);
             }
             DpaMsg::Update { seq, entries } => {
@@ -536,10 +923,102 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                     return;
                 }
                 for (ptr, value) in entries {
+                    // Reductions always target the birth home — migration
+                    // re-routes the read path only.
                     debug_assert!(ptr.is_local_to(ctx.me().0));
                     ctx.charge_overhead(self.cfg.cost.owner_lookup_ns);
                     self.updates_applied += 1;
                     self.app.apply_update(ptr, value);
+                }
+            }
+            DpaMsg::Affinity { seq, entries } => {
+                if !self.seen_affinity.insert((src.0, seq)) {
+                    return;
+                }
+                self.aff_entries_recv += entries.len() as u64;
+                let me = ctx.me().0;
+                if let Some(m) = self.mig.as_mut() {
+                    for (ptr, n) in entries {
+                        ctx.charge_overhead(self.cfg.cost.map_update_ns);
+                        m.record_affinity(ptr, src.0, n as u64, me);
+                    }
+                    // Fresh counts may push an object over the migration
+                    // threshold; make sure an owner epoch will look.
+                    self.arm_epoch(ctx);
+                }
+            }
+            DpaMsg::Migrate { seq, entries } => {
+                if !self.seen_migrates.insert((src.0, seq)) {
+                    return;
+                }
+                let me = ctx.me().0;
+                let mut orphan_replies: HashMap<u16, Vec<(GPtr, u32)>> = HashMap::new();
+                for (ptr, size) in entries {
+                    let adopted = self
+                        .mig
+                        .as_mut()
+                        .expect("Migrate received with migration disabled")
+                        .adopt(ptr, size);
+                    if !adopted {
+                        continue; // duplicate shipment: already adopted
+                    }
+                    ctx.charge_overhead(self.cfg.cost.reply_install_ns);
+                    if self.pending.contains(ptr) {
+                        // Our own request for this object is outstanding;
+                        // adoption doubles as its reply.
+                        let fresh = self.arrived.insert(ptr, size);
+                        debug_assert!(fresh, "pending object was already installed");
+                        let was_pending = self.pending.complete(ptr);
+                        debug_assert!(was_pending);
+                        self.installs += 1;
+                        let released = self.map.release(ptr);
+                        self.stack.extend(released);
+                    } else {
+                        self.arrived.preload(ptr, size);
+                    }
+                    // Forwards that outran this shipment can now be served.
+                    if let Some(reqs) = self.orphans.remove(&ptr) {
+                        for r in reqs {
+                            self.orphans_served += 1;
+                            if r != me {
+                                orphan_replies.entry(r).or_default().push((ptr, size));
+                            } else {
+                                // Our own request chased the object here and
+                                // parked; the pending branch above installed
+                                // the data, and this shipment is the end of
+                                // that request's wire journey — no reply
+                                // will ever arrive to retire it.
+                                self.in_flight.remove(&ptr);
+                            }
+                        }
+                    }
+                }
+                let mut dsts: Vec<u16> = orphan_replies.keys().copied().collect();
+                dsts.sort_unstable();
+                for dst in dsts {
+                    let batch = orphan_replies.remove(&dst).expect("key from this map");
+                    ctx.charge_overhead(self.cfg.cost.owner_lookup_ns * batch.len() as u64);
+                    self.reply_entries_pushed += batch.len() as u64;
+                    self.send_reply(ctx, dst, batch);
+                }
+                self.peak_stack = self.peak_stack.max(self.stack.len() as u64);
+                self.drive(ctx);
+            }
+            DpaMsg::Forward { requester, entries } => {
+                let mut ready: Vec<GPtr> = Vec::new();
+                for ptr in entries {
+                    if self.mig.as_ref().is_some_and(|m| m.is_adopted(ptr)) {
+                        ready.push(ptr);
+                    } else {
+                        // The forward outran the Migrate; park until the
+                        // shipment lands.
+                        self.orphans.entry(ptr).or_default().push(requester);
+                        self.orphans_total += 1;
+                    }
+                }
+                if !ready.is_empty() {
+                    self.answer_forwarded(ctx, requester, ready);
+                    self.drive(ctx);
                 }
             }
         }
@@ -547,6 +1026,21 @@ impl<A: PtrApp> Proc for DpaProc<A> {
 
     fn on_wake(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
         self.wake_scheduled = false;
+        let now = ctx.now().as_ns();
+        if self.next_epoch_at.is_some_and(|t| t <= now) {
+            self.next_epoch_at = None;
+            if !self.done {
+                let aff_before = self.affinity_msgs;
+                let mig_before = self.mig_entries_pushed;
+                self.run_epoch(ctx);
+                // Re-arm only while epochs are productive; an idle epoch
+                // stops ticking and the next sampled align or affinity
+                // report re-arms (`arm_epoch`).
+                if self.affinity_msgs > aff_before || self.mig_entries_pushed > mig_before {
+                    self.arm_epoch(ctx);
+                }
+            }
+        }
         self.flush_due(ctx);
         self.drive(ctx);
     }
@@ -560,17 +1054,27 @@ impl<A: PtrApp> Proc for DpaProc<A> {
             return None;
         }
         let stuck: Vec<String> = self.pending.iter().take(4).map(|p| p.to_string()).collect();
-        Some(format!(
+        let mut detail = format!(
             "iters {}/{} done, {} live; D={} in_flight={} M={} keys/{} threads; stuck on [{}]",
             self.completed_iters,
             self.total_iters,
             self.iter_live.len(),
             self.pending.len(),
-            self.in_flight,
+            self.in_flight.len(),
             self.map.keys(),
             self.map.live_threads(),
             stuck.join(", ")
-        ))
+        );
+        if let Some(m) = &self.mig {
+            let orphaned: usize = self.orphans.values().map(Vec::len).sum();
+            detail.push_str(&format!(
+                "; mig: {} adopted, {} departed, {} orphaned",
+                m.adopted_len(),
+                m.departed_len(),
+                orphaned
+            ));
+        }
+        Some(detail)
     }
 
     fn on_finish(&mut self, stats: &mut NodeStats) {
@@ -615,5 +1119,19 @@ impl<A: PtrApp> Proc for DpaProc<A> {
         stats.bump("updates_emitted", self.updates_emitted);
         stats.bump("updates_applied", self.updates_applied);
         stats.bump("update_msgs", self.update_msgs);
+        // Migration columns only exist in migration runs, so the baseline
+        // stat tables stay byte-identical.
+        if let Some(m) = &self.mig {
+            stats.bump("affinity_msgs", self.affinity_msgs);
+            stats.bump("affinity_entries", self.aff_entries_sent);
+            stats.bump("migrate_msgs", self.migrate_msgs);
+            stats.bump("migrate_entries", self.mig_entries_sent);
+            stats.bump("forward_msgs", self.forward_msgs);
+            stats.bump("forward_entries", self.forwarded_entries);
+            stats.bump("objects_adopted", m.migrations_in());
+            stats.bump("objects_departed", m.migrations_out());
+            stats.bump("overrides_learned", m.overrides_learned());
+            stats.bump("orphans_served", self.orphans_served);
+        }
     }
 }

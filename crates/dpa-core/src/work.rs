@@ -13,7 +13,7 @@
 //! caching, blocking, sequential), which is what guarantees all variants
 //! compute identical results — only scheduling and communication differ.
 
-use global_heap::{ArrivalSet, GPtr, SoftCache};
+use global_heap::{ArrivalSet, GPtr, MigrationTable, SoftCache};
 
 /// What a running work item emits for later execution.
 #[derive(Debug)]
@@ -57,6 +57,9 @@ pub struct WorkEnv<'a, W> {
     charged_ns: u64,
     emits: Vec<Emit<W>>,
     avail: Avail<'a>,
+    /// Migration view (when enabled): objects born here that have departed
+    /// are *not* readable locally any more, and adopted objects are.
+    mig: Option<&'a MigrationTable>,
 }
 
 impl<'a, W> WorkEnv<'a, W> {
@@ -67,6 +70,21 @@ impl<'a, W> WorkEnv<'a, W> {
             charged_ns: 0,
             emits: Vec::new(),
             avail,
+            mig: None,
+        }
+    }
+
+    /// Like [`WorkEnv::new`] but honoring a migration table in the
+    /// readability check (used by the DPA driver when migration is on).
+    pub(crate) fn with_migration(
+        node: u16,
+        nodes: u16,
+        avail: Avail<'a>,
+        mig: Option<&'a MigrationTable>,
+    ) -> WorkEnv<'a, W> {
+        WorkEnv {
+            mig,
+            ..WorkEnv::new(node, nodes, avail)
         }
     }
 
@@ -115,6 +133,13 @@ impl<'a, W> WorkEnv<'a, W> {
     /// `true` if `ptr`'s payload may be read right now on this node.
     pub fn readable(&self, ptr: GPtr) -> bool {
         if ptr.is_local_to(self.node) {
+            // Born here — readable unless the object was migrated away
+            // (its payload now lives at the adoptee; reading the departed
+            // slot would be a stale read).
+            if !self.mig.is_some_and(|m| m.is_departed(ptr)) {
+                return true;
+            }
+        } else if self.mig.is_some_and(|m| m.is_adopted(ptr)) {
             return true;
         }
         match &self.avail {
@@ -228,6 +253,25 @@ mod tests {
         assert!(env.readable(remote));
         // own objects always readable
         assert!(env.readable(GPtr::new(0, ObjClass(0), 3)));
+    }
+
+    #[test]
+    fn readable_honors_migration_table() {
+        let mut mig = MigrationTable::new();
+        let departed = GPtr::new(0, ObjClass(0), 1);
+        let adopted = GPtr::new(1, ObjClass(0), 2);
+        mig.depart(departed, 1);
+        mig.adopt(adopted, 64);
+        let arr = ArrivalSet::new();
+        let env: WorkEnv<'_, u32> =
+            WorkEnv::with_migration(0, 2, Avail::Arrived(&arr), Some(&mig));
+        assert!(
+            !env.readable(departed),
+            "a departed object is no longer readable at its birth home"
+        );
+        assert!(env.readable(adopted), "an adopted object reads locally");
+        assert!(env.readable(GPtr::new(0, ObjClass(0), 9)), "untouched local");
+        assert!(!env.readable(GPtr::new(1, ObjClass(0), 9)), "untouched remote");
     }
 
     #[test]

@@ -7,17 +7,26 @@
 //! set models that renamed storage: membership means "a local copy exists
 //! and may be read"; byte accounting tracks the memory DPA trades for
 //! latency tolerance.
+//!
+//! With object migration enabled the set gains two more duties: adopted
+//! objects are [`preload`](ArrivalSet::preload)ed at phase start (the node
+//! holds their payload across phases), and an ownership change can
+//! [`invalidate`](ArrivalSet::invalidate) a copy so the next dereference
+//! refetches from the object's new home instead of reading stale storage.
 
 use crate::gptr::GPtr;
-use std::collections::HashSet;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// Tracks remote objects that have arrived at one node during a phase.
 #[derive(Clone, Debug, Default)]
 pub struct ArrivalSet {
-    set: HashSet<GPtr>,
+    /// `ptr -> payload bytes held for it`.
+    set: HashMap<GPtr, u32>,
     bytes: u64,
     peak_bytes: u64,
     inserts: u64,
+    invalidations: u64,
 }
 
 impl ArrivalSet {
@@ -31,19 +40,51 @@ impl ArrivalSet {
     /// which indicates a redundant fetch upstream.
     pub fn insert(&mut self, ptr: GPtr, size: u32) -> bool {
         debug_assert!(!ptr.is_null());
-        let fresh = self.set.insert(ptr);
-        if fresh {
-            self.inserts += 1;
+        match self.set.entry(ptr) {
+            // Keep the first copy's accounting: a duplicate delivery does
+            // not grow renamed storage.
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(size);
+                self.inserts += 1;
+                self.bytes += size as u64;
+                self.peak_bytes = self.peak_bytes.max(self.bytes);
+                true
+            }
+        }
+    }
+
+    /// Seed a copy that is *already* held when the phase starts (an object
+    /// adopted in an earlier phase). Counts bytes but not `total_inserts`,
+    /// so per-phase fetch conservation checks stay meaningful.
+    pub fn preload(&mut self, ptr: GPtr, size: u32) {
+        debug_assert!(!ptr.is_null());
+        if let Entry::Vacant(v) = self.set.entry(ptr) {
+            v.insert(size);
             self.bytes += size as u64;
             self.peak_bytes = self.peak_bytes.max(self.bytes);
         }
-        fresh
+    }
+
+    /// Drop the copy of `ptr` (ownership changed or the copy went stale).
+    /// Returns `true` if a copy was actually held; afterwards
+    /// [`contains`](ArrivalSet::contains) is `false` and a later
+    /// [`insert`](ArrivalSet::insert) of the same pointer is fresh again.
+    pub fn invalidate(&mut self, ptr: GPtr) -> bool {
+        match self.set.remove(&ptr) {
+            Some(size) => {
+                self.bytes -= size as u64;
+                self.invalidations += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// `true` if `ptr` has arrived (i.e. a local copy is readable).
     #[inline]
     pub fn contains(&self, ptr: GPtr) -> bool {
-        self.set.contains(&ptr)
+        self.set.contains_key(&ptr)
     }
 
     /// Number of distinct objects currently held.
@@ -70,6 +111,11 @@ impl ArrivalSet {
     /// Total distinct arrivals over the phase (survives `clear`).
     pub fn total_inserts(&self) -> u64 {
         self.inserts
+    }
+
+    /// Total copies dropped via [`invalidate`](ArrivalSet::invalidate).
+    pub fn total_invalidations(&self) -> u64 {
+        self.invalidations
     }
 
     /// Drop all held objects (phase boundary), keeping lifetime counters.
@@ -119,5 +165,48 @@ mod tests {
         a.insert(p(3), 50);
         assert_eq!(a.peak_bytes(), 200);
         assert_eq!(a.total_inserts(), 3);
+    }
+
+    #[test]
+    fn invalidate_drops_copy_and_bytes() {
+        let mut a = ArrivalSet::new();
+        a.insert(p(1), 96);
+        a.insert(p(2), 32);
+        assert!(a.invalidate(p(1)));
+        assert!(!a.contains(p(1)), "invalidated copy must not be readable");
+        assert_eq!(a.bytes(), 32, "bytes of the dropped copy are released");
+        assert_eq!(a.len(), 1);
+        assert!(!a.invalidate(p(1)), "second invalidate is a no-op");
+        assert_eq!(a.total_invalidations(), 1);
+    }
+
+    /// Regression: after an ownership change invalidates a copy, a refetch
+    /// must be treated as *fresh* — historically a set-based implementation
+    /// that only tracked membership would refuse the re-insert and the node
+    /// would keep serving the stale (dropped) copy.
+    #[test]
+    fn stale_read_refetch_is_fresh_after_invalidate() {
+        let mut a = ArrivalSet::new();
+        assert!(a.insert(p(7), 64));
+        assert!(a.invalidate(p(7)));
+        assert!(
+            a.insert(p(7), 64),
+            "refetch after invalidation must be a fresh arrival"
+        );
+        assert!(a.contains(p(7)));
+        assert_eq!(a.bytes(), 64);
+        assert_eq!(a.total_inserts(), 2);
+    }
+
+    #[test]
+    fn preload_counts_bytes_not_inserts() {
+        let mut a = ArrivalSet::new();
+        a.preload(p(3), 100);
+        assert!(a.contains(p(3)));
+        assert_eq!(a.bytes(), 100);
+        assert_eq!(a.total_inserts(), 0, "preload is not a phase fetch");
+        assert!(!a.insert(p(3), 100), "preloaded copy already satisfies reads");
+        a.preload(p(3), 100);
+        assert_eq!(a.bytes(), 100, "re-preload is idempotent");
     }
 }

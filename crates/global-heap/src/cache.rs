@@ -25,6 +25,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to respect capacity.
     pub evictions: u64,
+    /// Entries dropped because their object changed home (coherence).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -153,6 +155,24 @@ impl SoftCache {
         }
     }
 
+    /// Drop `ptr` from the cache because its object changed home (an
+    /// ownership change must not leave a copy that answers probes for the
+    /// old home). Returns `true` if a copy was actually cached; afterwards
+    /// the next probe misses and the refetch goes to the new home.
+    pub fn invalidate(&mut self, ptr: GPtr) -> bool {
+        match self.map.remove(&ptr) {
+            Some((size, _)) => {
+                self.bytes -= size as u64;
+                self.stats.invalidations += 1;
+                if let Some(pos) = self.fifo.iter().position(|&p| p == ptr) {
+                    self.fifo.remove(pos);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of cached objects.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -261,5 +281,27 @@ mod tests {
     #[test]
     fn empty_hit_rate_zero() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn invalidate_forces_refetch_from_new_home() {
+        let mut c = SoftCache::new(Some(4));
+        c.fill(p(1), 64);
+        c.fill(p(2), 32);
+        assert!(c.invalidate(p(1)), "cached copy must be dropped");
+        assert!(!c.contains(p(1)));
+        assert_eq!(c.bytes(), 32);
+        assert!(!c.probe(p(1)), "next probe must miss and refetch");
+        assert!(!c.invalidate(p(1)), "second invalidate is a no-op");
+        assert_eq!(c.stats().invalidations, 1);
+        // The fifo entry is gone too: filling to capacity must not evict
+        // based on a ghost of the invalidated pointer.
+        c.fill(p(1), 64);
+        c.fill(p(3), 8);
+        c.fill(p(4), 8);
+        c.fill(p(5), 8);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(!c.contains(p(2)), "oldest live entry is the eviction victim");
+        assert!(c.contains(p(1)));
     }
 }

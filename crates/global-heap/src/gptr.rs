@@ -4,6 +4,13 @@
 //! `(owner node, object class, index within the owner's arena of that
 //! class)`. It packs into 8 bytes — the unit both request messages and the
 //! runtime's pointer→threads mapping key on.
+//!
+//! The owner field is the object's *birth* home, fixed for the pointer's
+//! lifetime. Locality-driven migration (see [`crate::migrate`]) re-homes
+//! objects without rewriting pointers: the birth home keeps a forwarding
+//! stub and consumers learn the new home from reply traffic, so
+//! [`GPtr::node`] remains the correct *first hop* for any node with no
+//! migration knowledge.
 
 use std::fmt;
 
@@ -43,7 +50,9 @@ impl GPtr {
         self == Self::NULL
     }
 
-    /// The owning node.
+    /// The owning node — the *birth* home baked into the pointer bits. With
+    /// migration enabled the current home may differ; resolve through
+    /// `migrate::MigrationTable::home_of` before routing a request.
     #[inline]
     pub fn node(self) -> u16 {
         debug_assert!(!self.is_null());

@@ -13,7 +13,10 @@
 //!   far in the current phase (DPA's tile buffer / renamed storage);
 //! * [`cache::SoftCache`] — the software-caching baseline the paper
 //!   compares against: a hashed cache probed on *every* global access, with
-//!   blocking misses.
+//!   blocking misses;
+//! * [`migrate::MigrationTable`] — per-node bookkeeping for locality-driven
+//!   object migration (adopted objects, forwarding stubs, learned home
+//!   overrides, and the affinity counts that drive the policy).
 //!
 //! Object *payloads* live in the owning application's typed arenas; since
 //! the force phases only read remote data, a "fetch" moves simulated bytes
@@ -27,7 +30,9 @@
 pub mod arrival;
 pub mod cache;
 pub mod gptr;
+pub mod migrate;
 
 pub use arrival::ArrivalSet;
 pub use cache::{CacheStats, EvictPolicy, SoftCache};
 pub use gptr::{ClassTable, GPtr, ObjClass};
+pub use migrate::{Migration, MigrationTable};

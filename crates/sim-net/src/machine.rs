@@ -379,6 +379,12 @@ impl<P: Proc> Machine<P> {
         &self.procs[id.index()]
     }
 
+    /// Mutable access to a node's behavior — for post-run state hand-off,
+    /// e.g. carrying a migration table into the next phase's machine.
+    pub fn proc_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.procs[id.index()]
+    }
+
     fn push_event(&mut self, time: Time, dst: NodeId, kind: EventKind<P::Msg>) {
         let seq = self.next_seq;
         self.next_seq += 1;

@@ -2,12 +2,17 @@
 //! against the runtime's idempotence and conservation guarantees, over
 //! randomized worlds and fault seeds.
 
+use dpa::apps::bh_dist::{BhApp, BhCost, BhWorld};
 use dpa::apps::relax::{RelaxApp, RelaxWorld};
 use dpa::global_heap::{ArrivalSet, GPtr, ObjClass};
+use dpa::nbody::bh::BhParams;
+use dpa::nbody::distrib::plummer;
 use dpa::runtime::invariant::Violation;
 use dpa::runtime::synth::{SynthApp, SynthParams, SynthWorld};
-use dpa::runtime::{check_completed, check_conservation, run_phase_dst, DpaConfig, DstOptions};
-use dpa::sim_net::{FaultPlan, NetConfig};
+use dpa::runtime::{
+    check_completed, check_conservation, run_phase_dst, run_phase_migrating, DpaConfig, DstOptions,
+};
+use dpa::sim_net::{FaultPlan, NetConfig, NodePause};
 use proptest::prelude::*;
 
 fn synth_world(seed: u64, nodes: u16, remote: f64) -> std::sync::Arc<SynthWorld> {
@@ -286,6 +291,69 @@ proptest! {
         prop_assert!(violations.is_empty(), "violation: {}", violations[0]);
     }
 
+    /// Locality-driven object migration under lossless fault plans
+    /// (duplicate / delay / pause): every phase completes, the multi-phase
+    /// sums stay bit-exact with the host oracle, and the migration oracles
+    /// hold — shipments conserved, chains one hop, no object lost, no
+    /// orphan stranded, affinity balanced — per phase *and* across the
+    /// whole run (single-home exclusivity over carried tables).
+    #[test]
+    fn migration_survives_lossless_faults(
+        seed in any::<u64>(),
+        nodes in 2u16..5,
+        remote in 0.3f64..0.9,
+        plan in 0usize..3,
+    ) {
+        let world = synth_world(seed, nodes, remote);
+        let expected: Vec<u64> = (0..nodes).map(|n| world.expected_sum(n)).collect();
+        let faults = match plan {
+            0 => FaultPlan::duplicate(seed ^ 0xD0_D0, 0.5),
+            1 => FaultPlan::delay(seed ^ 0xDE1A, 0.5, 80_000),
+            _ => FaultPlan {
+                pauses: vec![NodePause {
+                    node: (seed % nodes as u64) as u16,
+                    from_ns: 20_000,
+                    until_ns: 160_000,
+                }],
+                ..FaultPlan::default()
+            },
+        };
+        let opts = DstOptions { schedule_seed: Some(seed), faults };
+        let phases = 3usize;
+        let mut sums = vec![0u64; phases * nodes as usize];
+        let (reports, snap_sets, _tables) = run_phase_migrating(
+            nodes,
+            NetConfig::default(),
+            DpaConfig::dpa_migrating(4),
+            &opts,
+            phases,
+            |_, i| SynthApp::new(world.clone(), i, 200),
+            |ph, i, app: &SynthApp| sums[ph * nodes as usize + i as usize] = app.sum,
+        );
+        for (ph, r) in reports.iter().enumerate() {
+            prop_assert!(
+                r.completed,
+                "lossless plan {plan} stalled phase {ph}: {}",
+                r.stall_summary()
+            );
+        }
+        for ph in 0..phases {
+            for n in 0..nodes as usize {
+                prop_assert_eq!(
+                    sums[ph * nodes as usize + n], expected[n],
+                    "phase {} node {} sum diverged", ph, n
+                );
+            }
+        }
+        for (ph, snaps) in snap_sets.iter().enumerate() {
+            let violations = check_completed(snaps, false);
+            prop_assert!(violations.is_empty(), "phase {}: {}", ph, violations[0]);
+        }
+        let flat: Vec<_> = snap_sets.concat();
+        let violations = check_completed(&flat, false);
+        prop_assert!(violations.is_empty(), "cross-phase: {}", violations[0]);
+    }
+
     /// Delay plans reorder but never lose: results and invariants match
     /// the fault-free run exactly.
     #[test]
@@ -312,5 +380,80 @@ proptest! {
         prop_assert!(report.completed, "delay plan stalled: {}", report.stall_summary());
         prop_assert_eq!(&sums, &expected);
         prop_assert!(check_completed(&snaps, false).is_empty());
+    }
+}
+
+/// Migration must move data, never results: the multi-phase integer
+/// checksums are bit-identical with migration ON vs OFF and across strip
+/// sizes {1, 4, 16}, on both the synthetic workload and Barnes-Hut.
+#[test]
+fn migration_and_strip_size_preserve_checksums() {
+    let phases = 3usize;
+
+    // Synthetic pointer chasing, 4 nodes.
+    let world = synth_world(0xC0FFEE, 4, 0.6);
+    let mut baseline: Option<Vec<u64>> = None;
+    for strip in [1usize, 4, 16] {
+        for migrate in [false, true] {
+            let cfg = if migrate {
+                DpaConfig::dpa_migrating(strip)
+            } else {
+                DpaConfig::dpa(strip)
+            };
+            let mut sums = vec![0u64; phases * 4];
+            let (reports, snap_sets, _) = run_phase_migrating(
+                4,
+                NetConfig::default(),
+                cfg,
+                &DstOptions::default(),
+                phases,
+                |_, i| SynthApp::new(world.clone(), i, 200),
+                |ph, i, app: &SynthApp| sums[ph * 4 + i as usize] = app.sum,
+            );
+            assert!(reports.iter().all(|r| r.completed));
+            for snaps in &snap_sets {
+                let v = check_completed(snaps, false);
+                assert!(v.is_empty(), "strip={strip} migrate={migrate}: {}", v[0]);
+            }
+            match &baseline {
+                None => baseline = Some(sums),
+                Some(b) => assert_eq!(&sums, b, "strip={strip} migrate={migrate}"),
+            }
+        }
+    }
+
+    // Barnes-Hut, 4 nodes: the interaction checksum is a commutative sum,
+    // so it must not feel placement, scheduling, or migration at all.
+    let world = BhWorld::build(
+        plummer(160, 71),
+        4,
+        8,
+        BhParams::default(),
+        BhCost::default(),
+    );
+    let mut baseline: Option<Vec<u64>> = None;
+    for strip in [1usize, 4, 16] {
+        for migrate in [false, true] {
+            let cfg = if migrate {
+                DpaConfig::dpa_migrating(strip)
+            } else {
+                DpaConfig::dpa(strip)
+            };
+            let mut hashes = vec![0u64; phases * 4];
+            let (reports, _, _) = run_phase_migrating(
+                4,
+                NetConfig::default(),
+                cfg,
+                &DstOptions::default(),
+                phases,
+                |_, i| BhApp::new(world.clone(), i),
+                |ph, i, app: &BhApp| hashes[ph * 4 + i as usize] = app.interaction_hash,
+            );
+            assert!(reports.iter().all(|r| r.completed));
+            match &baseline {
+                None => baseline = Some(hashes),
+                Some(b) => assert_eq!(&hashes, b, "strip={strip} migrate={migrate}"),
+            }
+        }
     }
 }

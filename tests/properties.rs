@@ -9,9 +9,10 @@ use dpa::nbody::body::direct_accel;
 use dpa::nbody::distrib::uniform_cube;
 use dpa::nbody::octree::Octree;
 use dpa::runtime::synth::{SynthApp, SynthParams, SynthWorld};
-use dpa::runtime::{check_completed, run_phase, run_phase_dst, DpaConfig, DstOptions};
+use dpa::runtime::{check_completed, run_phase, run_phase_dst, DpaConfig, DstOptions, PointerMap};
 use dpa::sim_net::NetConfig;
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -131,6 +132,59 @@ proptest! {
             .makespan()
         };
         prop_assert_eq!(t(()), t(()));
+    }
+
+    /// The M mapping conserves threads against a model map under arbitrary
+    /// align/release interleavings: release returns exactly the aligned
+    /// waiters in insertion order, `live_threads` never drifts (so it can
+    /// never underflow), and the peak counters are monotone high-water
+    /// marks of the true live state.
+    #[test]
+    fn pointer_map_matches_model_under_interleavings(
+        seed in any::<u64>(),
+        ops in 1usize..400,
+        key_space in 1u64..24,
+        release_p in 0.05f64..0.6,
+    ) {
+        let mut rng = dpa::sim_net::Rng::new(seed);
+        let mut m: PointerMap<u64> = PointerMap::new();
+        let mut model: HashMap<GPtr, Vec<u64>> = HashMap::new();
+        let mut prev_peak_threads = 0u64;
+        let mut prev_peak_keys = 0u64;
+        let mut aligned_total = 0u64;
+        for op in 0..ops as u64 {
+            let ptr = GPtr::new(rng.below(4) as u16, ObjClass(0), rng.below(key_space));
+            if rng.chance(release_p) {
+                let got = m.release(ptr);
+                let want = model.remove(&ptr).unwrap_or_default();
+                prop_assert_eq!(
+                    got, want,
+                    "release must return exactly the aligned waiters, in order"
+                );
+            } else {
+                let first = m.align(ptr, op);
+                aligned_total += 1;
+                let v = model.entry(ptr).or_default();
+                v.push(op);
+                prop_assert_eq!(
+                    first,
+                    v.len() == 1,
+                    "the first-waiter signal is what triggers a request"
+                );
+            }
+            let live: u64 = model.values().map(|v| v.len() as u64).sum();
+            prop_assert_eq!(m.live_threads(), live, "live_threads drifted");
+            prop_assert_eq!(m.keys(), model.len());
+            prop_assert_eq!(m.is_empty(), model.is_empty());
+            prop_assert!(
+                m.peak_threads() >= prev_peak_threads.max(live),
+                "peak_threads must be a monotone high-water mark"
+            );
+            prop_assert!(m.peak_keys() >= prev_peak_keys.max(model.len() as u64));
+            prev_peak_threads = m.peak_threads();
+            prev_peak_keys = m.peak_keys();
+            prop_assert_eq!(m.total_aligned(), aligned_total);
+        }
     }
 
     /// Global pointers round-trip through their packed representation.
