@@ -25,6 +25,10 @@ pub struct BhRun {
     pub cell_interactions: u64,
     /// Total body–body interactions.
     pub body_interactions: u64,
+    /// Order-independent checksum of the interactions performed (the
+    /// `wrapping_add` of every node's [`BhApp::interaction_hash`]) —
+    /// bit-identical across strip sizes, schedules, and migration.
+    pub interaction_hash: u64,
 }
 
 /// Run the Barnes-Hut force phase under `cfg`.
@@ -32,6 +36,7 @@ pub fn run_bh(world: &Arc<BhWorld>, cfg: DpaConfig, net: NetConfig) -> BhRun {
     let mut accel = vec![Vec3::ZERO; world.bodies.len()];
     let mut cell_interactions = 0;
     let mut body_interactions = 0;
+    let mut interaction_hash = 0u64;
     let report = run_phase(
         world.nodes,
         net,
@@ -44,6 +49,7 @@ pub fn run_bh(world: &Arc<BhWorld>, cfg: DpaConfig, net: NetConfig) -> BhRun {
             }
             cell_interactions += app.cell_interactions;
             body_interactions += app.body_interactions;
+            interaction_hash = interaction_hash.wrapping_add(app.interaction_hash);
         },
     );
     BhRun {
@@ -52,6 +58,7 @@ pub fn run_bh(world: &Arc<BhWorld>, cfg: DpaConfig, net: NetConfig) -> BhRun {
         stats: report.stats,
         cell_interactions,
         body_interactions,
+        interaction_hash,
     }
 }
 
@@ -70,6 +77,10 @@ pub struct FmmRun {
     pub m2l_count: u64,
     /// Total P2P pairs.
     pub p2p_pairs: u64,
+    /// Order-independent checksum of both sub-phases' interactions (the
+    /// `wrapping_add` of every node's M2L and eval hashes) — bit-identical
+    /// across strip sizes, schedules, and migration.
+    pub interaction_hash: u64,
 }
 
 /// Run the FMM force phase (M2L, barrier, downward+eval+P2P) under `cfg`.
@@ -78,6 +89,7 @@ pub fn run_fmm(world: &Arc<FmmWorld>, cfg: DpaConfig, net: NetConfig) -> FmmRun 
     let mut partials: Vec<HashMap<u32, Local>> =
         (0..world.nodes).map(|_| HashMap::new()).collect();
     let mut m2l_count = 0;
+    let mut interaction_hash = 0u64;
     let r1 = run_phase(
         world.nodes,
         net.clone(),
@@ -86,6 +98,7 @@ pub fn run_fmm(world: &Arc<FmmWorld>, cfg: DpaConfig, net: NetConfig) -> FmmRun 
         |i, app: &FmmM2lApp| {
             partials[i as usize] = app.locals.clone();
             m2l_count += app.m2l_count;
+            interaction_hash = interaction_hash.wrapping_add(app.interaction_hash);
         },
     );
 
@@ -113,6 +126,7 @@ pub fn run_fmm(world: &Arc<FmmWorld>, cfg: DpaConfig, net: NetConfig) -> FmmRun 
                 }
             }
             p2p_pairs += app.p2p_pairs;
+            interaction_hash = interaction_hash.wrapping_add(app.interaction_hash);
         },
     );
 
@@ -123,6 +137,7 @@ pub fn run_fmm(world: &Arc<FmmWorld>, cfg: DpaConfig, net: NetConfig) -> FmmRun 
         eval_stats: r2.stats,
         m2l_count,
         p2p_pairs,
+        interaction_hash,
     }
 }
 

@@ -316,6 +316,20 @@ impl FmmWorld {
     }
 }
 
+/// Mix two interaction ids into one well-spread 64-bit word
+/// (splitmix64-style finalizer); summed commutatively into the
+/// interaction checksums so they are independent of execution order.
+#[inline]
+fn mix_pair(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A phase-1 non-blocking thread: apply the multipole of `src` to the
 /// local expansion of `target` (both dense indices).
 #[derive(Clone, Copy, Debug)]
@@ -336,6 +350,11 @@ pub struct FmmM2lApp {
     pub locals: HashMap<u32, Local>,
     /// M2L translations performed.
     pub m2l_count: u64,
+    /// Integer checksum of the M2L translations performed: the
+    /// commutative `wrapping_add` of a hash per (target, src) pair, so it
+    /// is bit-identical regardless of execution order, strip size, object
+    /// placement, or migration — the determinism oracle for this phase.
+    pub interaction_hash: u64,
 }
 
 impl FmmM2lApp {
@@ -349,6 +368,7 @@ impl FmmM2lApp {
             targets,
             locals: HashMap::new(),
             m2l_count: 0,
+            interaction_hash: 0,
         }
     }
 
@@ -397,6 +417,9 @@ impl PtrApp for FmmM2lApp {
             .or_insert_with(|| Local::zero(p))
             .add_assign(&contrib);
         self.m2l_count += 1;
+        self.interaction_hash = self
+            .interaction_hash
+            .wrapping_add(mix_pair(w.target as u64, w.src as u64));
         env.charge(world.cost.m2l_ns(p));
     }
 
@@ -442,6 +465,11 @@ pub struct FmmEvalApp {
     pub l2l_count: u64,
     /// P2P pair interactions performed.
     pub p2p_pairs: u64,
+    /// Integer checksum of the evaluations and P2P leaf pairs performed
+    /// (commutative; evaluation entries carry a tag bit to keep the two
+    /// kinds distinct). Bit-identical regardless of execution order,
+    /// strip size, placement, or migration.
+    pub interaction_hash: u64,
 }
 
 impl FmmEvalApp {
@@ -459,6 +487,7 @@ impl FmmEvalApp {
             fields: vec![Cx::ZERO; n],
             l2l_count: 0,
             p2p_pairs: 0,
+            interaction_hash: 0,
         }
     }
 
@@ -514,6 +543,10 @@ impl PtrApp for FmmEvalApp {
         match w {
             EvalWork::Eval(dense) => {
                 let leaf = world.box_of(dense as usize);
+                // Tag bit distinguishes evaluation entries from P2P pairs.
+                self.interaction_hash = self
+                    .interaction_hash
+                    .wrapping_add(mix_pair(dense as u64 | (1 << 32), dense as u64));
                 let local = self.finalize(leaf, env);
                 let center = leaf.center();
                 for &i in world.solver.tree.particles_in(leaf) {
@@ -540,6 +573,9 @@ impl PtrApp for FmmEvalApp {
                 let tgt = world.box_of(target as usize);
                 let sb = world.box_of(src as usize);
                 env.assert_readable(world.plist_ptr(sb));
+                self.interaction_hash = self
+                    .interaction_hash
+                    .wrapping_add(mix_pair(target as u64, src as u64));
                 let sources: Vec<(Cx, f64)> = world
                     .solver
                     .tree

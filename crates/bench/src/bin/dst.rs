@@ -28,10 +28,13 @@
 //! `results/dst_report.json`.
 //!
 //! Workloads cover the single-phase variants (synth DPA/caching, BH, FMM,
-//! relax) and the migration-enabled multi-phase variants (`synth-mig`,
-//! `bh-mig`, driven through `run_phase_migrating`), so the object-migration
-//! protocol — affinity, depart/adopt, forwards, orphans — is explored under
-//! every fault plan.
+//! relax), the migration-enabled multi-phase variants (`synth-mig`,
+//! `bh-mig`, driven through `run_phase_migrating`), and the adaptive-strip
+//! variants (`synth-adapt`, `bh-adapt`, driven by the `dpa_core::stripctl`
+//! feedback controller with tight bounds so retunes actually fire), so the
+//! object-migration protocol — affinity, depart/adopt, forwards, orphans —
+//! and the strip controller — bounded schedules, deterministic retunes,
+//! cross-phase carry — are explored under every fault plan.
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin dst            # 32 seeds x 5 plans

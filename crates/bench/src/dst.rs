@@ -30,7 +30,11 @@ pub const ALL_PLANS: &[&str] = &["none", "drop", "dup", "delay", "pause"];
 pub const SMOKE_PLANS: &[&str] = &["none", "drop"];
 /// Every workload name the sweep explores. The `-mig` workloads run the
 /// same apps multi-phase with locality-driven object migration enabled
-/// (epoch affinity, departs, forwards, the boundary pass).
+/// (epoch affinity, departs, forwards, the boundary pass). The `-adapt`
+/// workloads run under the adaptive strip controller
+/// ([`dpa_core::stripctl`]) with bounds tight enough that every node
+/// crosses several retune boundaries; `bh-adapt` is additionally
+/// multi-phase so the controllers carry across barriers.
 pub const WORKLOADS: &[&str] = &[
     "synth-dpa",
     "synth-caching",
@@ -39,7 +43,12 @@ pub const WORKLOADS: &[&str] = &[
     "relax",
     "synth-mig",
     "bh-mig",
+    "synth-adapt",
+    "bh-adapt",
 ];
+/// Adaptive strip bounds for the `-adapt` workloads (deliberately tight:
+/// the small DST worlds must still cross retune boundaries).
+pub const ADAPT_BOUNDS: (usize, usize) = (2, 64);
 /// Phases per migration workload run (tables carry across boundaries).
 pub const MIG_PHASES: usize = 3;
 /// Where failing cases are recorded, relative to the repository root.
@@ -330,6 +339,44 @@ pub fn run_one(w: &Worlds, workload: &str, opts: &DstOptions) -> Outcome {
                 |ph, i, app: &SynthApp| sums[ph * nodes as usize + i as usize] = app.sum,
             );
             mig_outcome(reports, snap_sets, Digest::Ints(sums))
+        }
+        "synth-adapt" => {
+            let world = w.synth.clone();
+            let cfg = DpaConfig::dpa_adaptive(ADAPT_BOUNDS.0, ADAPT_BOUNDS.1);
+            let mut sums = vec![0u64; world.nodes as usize];
+            let (report, snaps) = run_phase_dst(
+                world.nodes,
+                net,
+                cfg,
+                opts,
+                |i| SynthApp::new(world.clone(), i, 500),
+                |i, app: &SynthApp| sums[i as usize] = app.sum,
+            );
+            Outcome {
+                completed: report.completed,
+                dropped: report.stats.dropped_packets,
+                digest: Digest::Ints(sums),
+                stalls: report.stall_summary(),
+                snaps,
+            }
+        }
+        "bh-adapt" => {
+            let world = w.bh.clone();
+            let nodes = world.nodes;
+            let cfg = DpaConfig::dpa_adaptive(ADAPT_BOUNDS.0, ADAPT_BOUNDS.1);
+            let mut hashes = vec![0u64; MIG_PHASES * nodes as usize];
+            let (reports, snap_sets, _) = run_phase_migrating(
+                nodes,
+                net,
+                cfg,
+                opts,
+                MIG_PHASES,
+                |_, i| BhApp::new(world.clone(), i),
+                |ph, i, app: &BhApp| {
+                    hashes[ph * nodes as usize + i as usize] = app.interaction_hash;
+                },
+            );
+            mig_outcome(reports, snap_sets, Digest::Ints(hashes))
         }
         "bh-mig" => {
             let world = w.bh.clone();

@@ -8,8 +8,10 @@
 //! * **pipeline / aggregation** — the communication-optimization ladder of
 //!   the breakdown figure (Base → +Pipeline → +Pipeline+Aggregate).
 
+use crate::stripctl::{AdaptiveStrip, StripMode};
 use fastmsg::Mtu;
 use global_heap::EvictPolicy;
+use std::fmt;
 
 /// Which execution scheme drives the force phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,14 +150,72 @@ impl CostModel {
     }
 }
 
+/// A configuration value that would hang or panic deep inside a run,
+/// rejected up front by [`DpaConfig::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A strip (fixed `k`, or the adaptive `min`) of 0 admits no
+    /// iterations: the phase would never start and never finish.
+    ZeroStrip,
+    /// Adaptive bounds with `min > max` leave the controller no legal
+    /// strip.
+    StripBoundsInverted {
+        /// The configured lower bound.
+        min: usize,
+        /// The configured upper bound.
+        max: usize,
+    },
+    /// A coalescing window of 0 can never fill: entries would buffer
+    /// forever. Names the offending knob.
+    ZeroWindow(&'static str),
+    /// Reply aggregation with a zero flush deadline: every enqueue would
+    /// arm an immediate wake, livelocking the owner.
+    ZeroFlushDeadline,
+    /// A zero poll interval makes the drive loop yield after every work
+    /// item without advancing time.
+    ZeroPollInterval,
+    /// Migration with a zero threshold would migrate on the first remote
+    /// touch, thrashing objects between nodes.
+    ZeroMigrationThreshold,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroStrip => {
+                write!(f, "strip size must be >= 1 (a 0 strip admits no iterations)")
+            }
+            ConfigError::StripBoundsInverted { min, max } => write!(
+                f,
+                "adaptive strip bounds inverted: min {min} > max {max}"
+            ),
+            ConfigError::ZeroWindow(knob) => {
+                write!(f, "{knob} must be >= 1 (a 0 window can never fill)")
+            }
+            ConfigError::ZeroFlushDeadline => write!(
+                f,
+                "reply_flush_deadline_ns must be > 0 when reply_agg_window > 1"
+            ),
+            ConfigError::ZeroPollInterval => write!(f, "poll_interval_ns must be > 0"),
+            ConfigError::ZeroMigrationThreshold => {
+                write!(f, "migration_threshold must be >= 1 when migration is enabled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full configuration of a phase execution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DpaConfig {
     /// Execution scheme.
     pub variant: Variant,
-    /// k-bounded strip size for the top-level concurrent loop: at most
-    /// this many loop iterations are live at once per node.
-    pub strip_size: usize,
+    /// k-bound of the top-level concurrent loop: at most this many loop
+    /// iterations are live at once per node — a fixed `k` (the paper's
+    /// static strip) or the feedback-controlled adaptive strip (see
+    /// [`crate::stripctl`]).
+    pub strip_mode: StripMode,
     /// Aggregation window: requests per destination buffered into one
     /// message. `1` disables aggregation.
     pub agg_window: usize,
@@ -216,7 +276,7 @@ impl Default for DpaConfig {
     fn default() -> Self {
         DpaConfig {
             variant: Variant::Dpa,
-            strip_size: 50,
+            strip_mode: StripMode::Fixed(50),
             agg_window: 32,
             pipeline: true,
             // Half the poll interval: an owner mid-slice coalesces replies
@@ -241,7 +301,20 @@ impl DpaConfig {
     /// The paper's headline configuration: "DPA (50)".
     pub fn dpa(strip: usize) -> DpaConfig {
         DpaConfig {
-            strip_size: strip,
+            strip_mode: StripMode::Fixed(strip),
+            ..DpaConfig::default()
+        }
+    }
+
+    /// Full DPA with the adaptive k-bound controller in `[min, max]`
+    /// (default idle target; see [`AdaptiveStrip`]).
+    pub fn dpa_adaptive(min: usize, max: usize) -> DpaConfig {
+        DpaConfig {
+            strip_mode: StripMode::Adaptive(AdaptiveStrip {
+                min,
+                max,
+                ..AdaptiveStrip::default()
+            }),
             ..DpaConfig::default()
         }
     }
@@ -250,7 +323,7 @@ impl DpaConfig {
     /// (the "Base" bars of the breakdown figure).
     pub fn dpa_base(strip: usize) -> DpaConfig {
         DpaConfig {
-            strip_size: strip,
+            strip_mode: StripMode::Fixed(strip),
             agg_window: 1,
             reply_agg_window: 1,
             pipeline: false,
@@ -262,7 +335,7 @@ impl DpaConfig {
     /// out one per push and owners answer immediately.
     pub fn dpa_pipeline(strip: usize) -> DpaConfig {
         DpaConfig {
-            strip_size: strip,
+            strip_mode: StripMode::Fixed(strip),
             agg_window: 1,
             reply_agg_window: 1,
             pipeline: true,
@@ -275,7 +348,7 @@ impl DpaConfig {
     /// epoch (one epoch per poll interval by default).
     pub fn dpa_migrating(strip: usize) -> DpaConfig {
         DpaConfig {
-            strip_size: strip,
+            strip_mode: StripMode::Fixed(strip),
             migration_epoch_ns: 40_000,
             ..DpaConfig::default()
         }
@@ -284,6 +357,57 @@ impl DpaConfig {
     /// `true` when locality-driven object migration is enabled.
     pub fn migration_enabled(&self) -> bool {
         self.migration_epoch_ns > 0
+    }
+
+    /// `true` when the k-bound is feedback-controlled.
+    pub fn adaptive_strip(&self) -> bool {
+        self.strip_mode.is_adaptive()
+    }
+
+    /// The strip in force before the first controller boundary (equal to
+    /// `k` for a fixed strip).
+    pub fn initial_strip(&self) -> usize {
+        self.strip_mode.initial_strip()
+    }
+
+    /// Check the configuration for values that would hang or panic deep
+    /// in a run. Called by the node drivers at construction; callable
+    /// directly for an early, actionable `Err`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self.strip_mode {
+            StripMode::Fixed(0) => return Err(ConfigError::ZeroStrip),
+            StripMode::Fixed(_) => {}
+            StripMode::Adaptive(p) => {
+                if p.min == 0 {
+                    return Err(ConfigError::ZeroStrip);
+                }
+                if p.min > p.max {
+                    return Err(ConfigError::StripBoundsInverted {
+                        min: p.min,
+                        max: p.max,
+                    });
+                }
+            }
+        }
+        if self.agg_window == 0 {
+            return Err(ConfigError::ZeroWindow("agg_window"));
+        }
+        if self.reply_agg_window == 0 {
+            return Err(ConfigError::ZeroWindow("reply_agg_window"));
+        }
+        if self.reply_agg_window > 1 && self.reply_flush_deadline_ns == 0 {
+            return Err(ConfigError::ZeroFlushDeadline);
+        }
+        if self.poll_interval_ns == 0 {
+            return Err(ConfigError::ZeroPollInterval);
+        }
+        if self.max_outstanding == 0 {
+            return Err(ConfigError::ZeroWindow("max_outstanding"));
+        }
+        if self.migration_enabled() && self.migration_threshold == 0 {
+            return Err(ConfigError::ZeroMigrationThreshold);
+        }
+        Ok(())
     }
 
     /// The software-caching baseline. Owners answer immediately: the
@@ -329,7 +453,7 @@ impl DpaConfig {
                 };
                 format!(
                     "DPA(strip={}, agg={}, reply_agg={}, pipeline={}{})",
-                    self.strip_size, self.agg_window, self.reply_agg_window, self.pipeline, mig
+                    self.strip_mode, self.agg_window, self.reply_agg_window, self.pipeline, mig
                 )
             }
             v => v.label().to_string(),
@@ -356,7 +480,75 @@ mod tests {
         assert!(full.agg_window > 1);
         assert!(full.reply_agg_window > 1);
         assert!(full.reply_flush_deadline_ns > 0);
-        assert_eq!(full.strip_size, 50);
+        assert_eq!(full.strip_mode, StripMode::Fixed(50));
+        assert_eq!(full.initial_strip(), 50);
+        assert!(!full.adaptive_strip());
+    }
+
+    #[test]
+    fn adaptive_preset_bounds_and_description() {
+        let a = DpaConfig::dpa_adaptive(8, 512);
+        assert!(a.adaptive_strip());
+        assert_eq!(a.initial_strip(), 64);
+        assert!(a.validate().is_ok());
+        let d = a.describe();
+        assert!(d.contains("adaptive[8..512]"), "{d}");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let ok = DpaConfig::dpa(50);
+        assert!(ok.validate().is_ok());
+        for preset in [
+            DpaConfig::default(),
+            DpaConfig::dpa_base(1),
+            DpaConfig::dpa_pipeline(300),
+            DpaConfig::dpa_migrating(50),
+            DpaConfig::dpa_adaptive(1, 1),
+            DpaConfig::caching(),
+            DpaConfig::blocking(),
+            DpaConfig::sequential(),
+        ] {
+            assert!(preset.validate().is_ok(), "{}", preset.describe());
+        }
+
+        let zero = DpaConfig::dpa(0);
+        assert_eq!(zero.validate(), Err(ConfigError::ZeroStrip));
+        let zero_min = DpaConfig::dpa_adaptive(0, 8);
+        assert_eq!(zero_min.validate(), Err(ConfigError::ZeroStrip));
+        let inverted = DpaConfig::dpa_adaptive(300, 50);
+        assert_eq!(
+            inverted.validate(),
+            Err(ConfigError::StripBoundsInverted { min: 300, max: 50 })
+        );
+        let no_deadline = DpaConfig {
+            reply_flush_deadline_ns: 0,
+            ..DpaConfig::default()
+        };
+        assert_eq!(no_deadline.validate(), Err(ConfigError::ZeroFlushDeadline));
+        // ...but a deadline of 0 is fine when replies go out immediately.
+        let immediate = DpaConfig {
+            reply_flush_deadline_ns: 0,
+            ..DpaConfig::dpa_base(50)
+        };
+        assert!(immediate.validate().is_ok());
+        let no_window = DpaConfig {
+            agg_window: 0,
+            ..DpaConfig::default()
+        };
+        assert_eq!(no_window.validate(), Err(ConfigError::ZeroWindow("agg_window")));
+        let no_poll = DpaConfig {
+            poll_interval_ns: 0,
+            ..DpaConfig::default()
+        };
+        assert_eq!(no_poll.validate(), Err(ConfigError::ZeroPollInterval));
+        // Errors render actionably.
+        assert!(zero.validate().unwrap_err().to_string().contains("strip"));
+        assert!(inverted
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("min 300 > max 50"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::config::{DpaConfig, Variant};
 use crate::invariant::NodeSnapshot;
 use crate::proc_caching::CachingProc;
 use crate::proc_dpa::DpaProc;
+use crate::stripctl::StripController;
 use crate::work::PtrApp;
 use global_heap::MigrationTable;
 use sim_net::{FaultPlan, Machine, NetConfig, NodeId, RunReport, Trace};
@@ -156,6 +157,10 @@ pub fn run_phase_dst<A: PtrApp>(
 /// With migration disabled in `cfg` this degenerates to running `phases`
 /// independent phases, so an ON/OFF ablation differs only in the knobs.
 ///
+/// With an adaptive strip ([`crate::stripctl`]) the per-node controllers
+/// are likewise carried across the boundary: each phase opens at the strip
+/// the previous one converged to.
+///
 /// `mk(phase, node)` builds each phase's per-node app; `collect` sees
 /// every node after every phase. Returns the per-phase reports, the
 /// per-phase invariant snapshots, and the final migration tables (empty
@@ -176,7 +181,13 @@ pub fn run_phase_migrating<A: PtrApp>(
         cfg.variant
     );
     let migrate = cfg.migration_enabled();
+    let adaptive = cfg.adaptive_strip();
     let mut tables: Option<Vec<MigrationTable>> = None;
+    // Adaptive k-bound: each node's controller survives the barrier, so a
+    // phase opens at the strip its predecessor settled on instead of
+    // re-learning from the initial guess (strips/phases are the paper's
+    // natural retune boundaries).
+    let mut strip_ctls: Option<Vec<StripController>> = None;
     let mut reports = Vec::with_capacity(phases);
     let mut all_snaps = Vec::with_capacity(phases);
     for phase in 0..phases {
@@ -186,6 +197,11 @@ pub fn run_phase_migrating<A: PtrApp>(
         if let Some(tables) = tables.take() {
             for (p, t) in procs.iter_mut().zip(tables) {
                 p.set_migration(t);
+            }
+        }
+        if let Some(ctls) = strip_ctls.take() {
+            for (p, c) in procs.iter_mut().zip(ctls) {
+                p.set_strip_controller(c);
             }
         }
         let mut m = Machine::new(procs, net.clone());
@@ -202,6 +218,17 @@ pub fn run_phase_migrating<A: PtrApp>(
             collect(phase, i, p.app());
         }
         all_snaps.push(snaps);
+        if adaptive && phase + 1 < phases {
+            strip_ctls = Some(
+                (0..nodes)
+                    .map(|i| {
+                        m.proc_mut(NodeId(i))
+                            .take_strip_controller()
+                            .expect("adaptive strip enabled")
+                    })
+                    .collect(),
+            );
+        }
         if migrate {
             let mut taken: Vec<MigrationTable> = (0..nodes)
                 .map(|i| {

@@ -100,6 +100,12 @@ pub struct NodeSnapshot {
     pub adopted_ptrs: Vec<u64>,
     /// Pointer bits of every object that departed from this node (sorted).
     pub departed_ptrs: Vec<u64>,
+    /// Every strip the adaptive k-bound controller applied on this node,
+    /// initial strip first (empty under a fixed strip).
+    pub strip_schedule: Vec<u32>,
+    /// The adaptive controller's `[min, max]` bounds (`None` under a
+    /// fixed strip — the schedule is then unchecked because it is empty).
+    pub strip_bounds: Option<(u32, u32)>,
 }
 
 /// One violated invariant, with enough context to act on.
@@ -251,6 +257,19 @@ pub enum Violation {
         /// Affinity entries received across all nodes.
         recv: u64,
     },
+    /// The adaptive strip controller applied a strip outside its
+    /// configured `[min, max]` bounds — the controller's hard promise,
+    /// independent of schedule or fault plan.
+    StripOutOfBounds {
+        /// Offending node.
+        node: u16,
+        /// The out-of-bounds strip that was applied.
+        strip: u32,
+        /// Configured lower bound.
+        min: u32,
+        /// Configured upper bound.
+        max: u32,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -361,6 +380,15 @@ impl fmt::Display for Violation {
                 f,
                 "affinity leaked: sent {sent} entries != received {recv} (lossless run)"
             ),
+            Violation::StripOutOfBounds {
+                node,
+                strip,
+                min,
+                max,
+            } => write!(
+                f,
+                "n{node}: adaptive strip {strip} escaped its bounds [{min}, {max}]"
+            ),
         }
     }
 }
@@ -393,6 +421,18 @@ pub fn check_conservation(snaps: &[NodeSnapshot]) -> Vec<Violation> {
                 installed: s.objects_installed,
                 outstanding: s.pending_requests,
             });
+        }
+        if let Some((min, max)) = s.strip_bounds {
+            for &strip in &s.strip_schedule {
+                if strip < min || strip > max {
+                    out.push(Violation::StripOutOfBounds {
+                        node: s.node,
+                        strip,
+                        min,
+                        max,
+                    });
+                }
+            }
         }
     }
     let emitted: u64 = snaps.iter().map(|s| s.updates_emitted).sum();
@@ -731,6 +771,31 @@ mod tests {
         assert!(check_completed(&snaps, false)
             .iter()
             .any(|v| matches!(v, Violation::AffinityLeak { sent: 10, recv: 7 })));
+    }
+
+    #[test]
+    fn strip_schedule_audited_against_bounds() {
+        let mut s = clean(1);
+        s.strip_bounds = Some((8, 512));
+        s.strip_schedule = vec![64, 128, 256, 512, 512];
+        assert!(check_conservation(std::slice::from_ref(&s)).is_empty());
+        s.strip_schedule.push(1024); // escaped the cap
+        let v = check_conservation(std::slice::from_ref(&s));
+        assert!(matches!(
+            v[0],
+            Violation::StripOutOfBounds {
+                node: 1,
+                strip: 1024,
+                min: 8,
+                max: 512
+            }
+        ));
+        assert!(v[0].to_string().contains("escaped its bounds"));
+        // A fixed-strip snapshot carries no bounds and is never audited.
+        let mut f = clean(2);
+        f.strip_schedule = vec![9999];
+        f.strip_bounds = None;
+        assert!(check_conservation(&[f]).is_empty());
     }
 
     #[test]

@@ -38,10 +38,11 @@ mod owner;
 pub mod pending;
 pub mod proc_caching;
 pub mod proc_dpa;
+pub mod stripctl;
 pub mod synth;
 pub mod work;
 
-pub use config::{CostModel, DpaConfig, Variant};
+pub use config::{ConfigError, CostModel, DpaConfig, Variant};
 pub use driver::{
     run_phase, run_phase_dst, run_phase_faulty, run_phase_migrating, run_phase_traced, DstOptions,
 };
@@ -51,4 +52,5 @@ pub use msg::DpaMsg;
 pub use pending::PendingRequests;
 pub use proc_caching::CachingProc;
 pub use proc_dpa::DpaProc;
+pub use stripctl::{AdaptiveStrip, StripController, StripMode, StripObs};
 pub use work::{Emit, PtrApp, Tagged, WorkEnv};

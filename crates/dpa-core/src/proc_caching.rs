@@ -72,8 +72,12 @@ pub struct CachingProc<A: PtrApp> {
 
 impl<A: PtrApp> CachingProc<A> {
     /// Wrap one node's application instance. Panics unless `cfg.variant`
-    /// is [`Variant::Caching`] or [`Variant::Blocking`].
+    /// is [`Variant::Caching`] or [`Variant::Blocking`] and the config
+    /// passes [`DpaConfig::validate`].
     pub fn new(app: A, cfg: DpaConfig) -> CachingProc<A> {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DpaConfig: {e}");
+        }
         let (capacity, probe_ns, fill_ns) = match cfg.variant {
             Variant::Caching => (
                 cfg.cache_capacity,

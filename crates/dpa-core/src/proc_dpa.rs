@@ -8,9 +8,14 @@
 //!
 //! Scheduling template (the paper's Figure 14 shape):
 //!
-//! 1. **Admit** — keep at most `strip_size` top-level iterations live
-//!    (k-bounded loop); admitting an iteration runs its creation code,
-//!    which emits pointer-labeled dependent threads.
+//! 1. **Admit** — keep at most one strip's worth of top-level iterations
+//!    live (k-bounded loop); admitting an iteration runs its creation
+//!    code, which emits pointer-labeled dependent threads. The strip is
+//!    either the paper's static `k` ([`StripMode::Fixed`]) or retuned at
+//!    every strip boundary by the per-node feedback controller of
+//!    [`crate::stripctl`] ([`StripMode::Adaptive`]): every `strip`
+//!    completed iterations the driver reads its own idle/overhead deltas
+//!    and suspended-thread population and grows or shrinks the k-bound.
 //! 2. **Execute** — run ready threads depth-first. A demand on a local or
 //!    already-arrived object becomes immediately ready; a demand on a
 //!    missing remote object is aligned under its pointer in M, and the
@@ -56,9 +61,10 @@
 //! default and every fan-out iterates in sorted order, so baseline runs
 //! and replays stay bit-identical.
 
-use crate::config::{DpaConfig, Variant};
+use crate::config::{ConfigError, DpaConfig, Variant};
 use crate::invariant::NodeSnapshot;
 use crate::mapping::PointerMap;
+use crate::stripctl::{StripController, StripMode, StripObs};
 use crate::msg::DpaMsg;
 use crate::pending::PendingRequests;
 use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
@@ -69,6 +75,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Wire bytes of one `(pointer, f64)` reduction entry.
 const UPDATE_ENTRY_BYTES: u64 = GPtr::WIRE_BYTES as u64 + 8;
+
+/// Dither seed for the adaptive strip controller (see
+/// [`StripController::new`]); fixed so replays are bit-identical.
+const STRIP_DITHER_SEED: u64 = 0x5712_C0DE;
 
 /// A DPA node: the application's per-node instance plus runtime state.
 pub struct DpaProc<A: PtrApp> {
@@ -137,6 +147,20 @@ pub struct DpaProc<A: PtrApp> {
     forwarded_entries: u64,
     orphans_total: u64,
     orphans_served: u64,
+    /// The k-bound currently in force (constant under a fixed strip;
+    /// retuned at strip boundaries under an adaptive one).
+    strip: usize,
+    /// The adaptive k-bound controller (`Some` iff
+    /// `cfg.adaptive_strip()`). Built lazily at `on_start` — the proc
+    /// does not know its node id at construction — unless a controller
+    /// carried over from the previous phase was installed first.
+    strip_ctl: Option<StripController>,
+    /// Completed-iteration count at which the next controller boundary
+    /// fires.
+    next_ctl_at: u64,
+    /// Cumulative (local, overhead, idle) ns at the last boundary, so a
+    /// retune observes the inter-boundary *deltas*.
+    ctl_obs_base: (u64, u64, u64),
     /// Live work count per open iteration.
     iter_live: HashMap<u32, u32>,
     next_iter: usize,
@@ -175,17 +199,28 @@ pub struct DpaProc<A: PtrApp> {
 impl<A: PtrApp> DpaProc<A> {
     /// Wrap one node's application instance under `cfg`.
     ///
-    /// `nodes` is the machine size (drives coalescer sizing). Panics if
-    /// `cfg.variant` is not [`Variant::Dpa`] or [`Variant::Sequential`] —
-    /// the baselines have their own driver.
+    /// `nodes` is the machine size (drives coalescer sizing). Panics on a
+    /// degenerate config ([`DpaConfig::validate`] — use
+    /// [`DpaProc::try_new`] for an `Err` instead) or if `cfg.variant` is
+    /// not [`Variant::Dpa`] or [`Variant::Sequential`] — the baselines
+    /// have their own driver.
     pub fn new(app: A, nodes: usize, cfg: DpaConfig) -> DpaProc<A> {
+        match Self::try_new(app, nodes, cfg) {
+            Ok(p) => p,
+            Err(e) => panic!("invalid DpaConfig: {e}"),
+        }
+    }
+
+    /// Like [`DpaProc::new`] but rejects a degenerate config with a clear
+    /// [`ConfigError`] instead of a hang or panic deep in the run.
+    pub fn try_new(app: A, nodes: usize, cfg: DpaConfig) -> Result<DpaProc<A>, ConfigError> {
         assert!(
             matches!(cfg.variant, Variant::Dpa | Variant::Sequential),
             "DpaProc drives DPA/Sequential, got {:?}",
             cfg.variant
         );
-        assert!(cfg.strip_size >= 1, "strip size must be >= 1");
-        assert!(cfg.reply_agg_window >= 1, "reply window must be >= 1");
+        cfg.validate()?;
+        let strip = cfg.initial_strip();
         let total_iters = app.num_iterations();
         // Without pipelining, batches are held rather than auto-sent, so
         // the window can stay as configured; `held` captures overflow.
@@ -194,9 +229,13 @@ impl<A: PtrApp> DpaProc<A> {
         let reply_coal = ByteCoalescer::new(nodes, cfg.mtu.0 as u64, cfg.reply_agg_window);
         let mig_coal = ByteCoalescer::new(nodes, cfg.mtu.0 as u64, cfg.agg_window);
         let mig = cfg.migration_enabled().then(MigrationTable::new);
-        DpaProc {
+        Ok(DpaProc {
             app,
             cfg,
+            strip,
+            strip_ctl: None,
+            next_ctl_at: strip as u64,
+            ctl_obs_base: (0, 0, 0),
             stack: Vec::new(),
             map: PointerMap::new(),
             pending: PendingRequests::new(),
@@ -245,7 +284,7 @@ impl<A: PtrApp> DpaProc<A> {
             seen_updates: HashSet::new(),
             wake_scheduled: false,
             done: false,
-        }
+        })
     }
 
     /// The wrapped application (post-run inspection).
@@ -283,6 +322,59 @@ impl<A: PtrApp> DpaProc<A> {
     /// Completed top-level iterations.
     pub fn completed_iterations(&self) -> u64 {
         self.completed_iters
+    }
+
+    /// The k-bound currently in force.
+    pub fn current_strip(&self) -> usize {
+        self.strip
+    }
+
+    /// The adaptive strip controller, when the config is adaptive (and
+    /// the run has started or a carried controller was installed).
+    pub fn strip_controller(&self) -> Option<&StripController> {
+        self.strip_ctl.as_ref()
+    }
+
+    /// Install a strip controller carried over from the previous phase
+    /// (driver use, before the machine starts): the phase opens at the
+    /// strip the last one settled on, with hysteresis state intact.
+    pub fn set_strip_controller(&mut self, ctl: StripController) {
+        assert!(
+            self.cfg.adaptive_strip(),
+            "set_strip_controller on a fixed-strip config"
+        );
+        self.strip = ctl.strip();
+        self.next_ctl_at = self.completed_iters + self.strip as u64;
+        self.strip_ctl = Some(ctl);
+    }
+
+    /// Take the strip controller for cross-phase hand-off (driver use,
+    /// after the machine stops).
+    pub fn take_strip_controller(&mut self) -> Option<StripController> {
+        self.strip_ctl.take()
+    }
+
+    /// Adaptive-strip boundary: when enough iterations completed since
+    /// the last boundary, feed the controller the inter-boundary stat
+    /// deltas and adopt its new strip. No-op under a fixed strip. Called
+    /// from `admit`, so a retune can widen (or narrow) the window the
+    /// very admission that crosses the boundary uses.
+    fn maybe_retune(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        if self.strip_ctl.is_none() || self.completed_iters < self.next_ctl_at {
+            return;
+        }
+        let s = ctx.stats();
+        let (local, overhead, idle) = (s.local.as_ns(), s.overhead.as_ns(), s.idle.as_ns());
+        let obs = StripObs {
+            local_ns: local - self.ctl_obs_base.0,
+            overhead_ns: overhead - self.ctl_obs_base.1,
+            idle_ns: idle - self.ctl_obs_base.2,
+            suspended_threads: self.map.live_threads(),
+        };
+        self.ctl_obs_base = (local, overhead, idle);
+        let ctl = self.strip_ctl.as_mut().expect("checked above");
+        self.strip = ctl.retune(&obs);
+        self.next_ctl_at = self.completed_iters + self.strip as u64;
     }
 
     /// Export the runtime-state counters the DST invariant checker needs
@@ -327,6 +419,16 @@ impl<A: PtrApp> DpaProc<A> {
             orphans_pending: self.orphans.values().map(Vec::len).sum(),
             adopted_ptrs,
             departed_ptrs,
+            strip_schedule: self
+                .strip_ctl
+                .as_ref()
+                .map(|c| c.schedule().to_vec())
+                .unwrap_or_default(),
+            strip_bounds: self
+                .cfg
+                .strip_mode
+                .adaptive_params()
+                .map(|p| (p.min as u32, p.max as u32)),
         }
     }
 
@@ -693,7 +795,8 @@ impl<A: PtrApp> DpaProc<A> {
     }
 
     fn admit(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
-        while self.iter_live.len() < self.cfg.strip_size && self.next_iter < self.total_iters {
+        self.maybe_retune(ctx);
+        while self.iter_live.len() < self.strip && self.next_iter < self.total_iters {
             let iter = self.next_iter as u32;
             self.next_iter += 1;
             let mut env = WorkEnv::with_migration(
@@ -874,6 +977,14 @@ impl<A: PtrApp> Proc for DpaProc<A> {
     type Msg = DpaMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        if let StripMode::Adaptive(params) = self.cfg.strip_mode {
+            if self.strip_ctl.is_none() {
+                let ctl = StripController::new(params, ctx.me().0, STRIP_DITHER_SEED);
+                self.strip = ctl.strip();
+                self.next_ctl_at = self.strip as u64;
+                self.strip_ctl = Some(ctl);
+            }
+        }
         if self.cfg.migration_enabled() {
             let epoch = self.cfg.migration_epoch_ns;
             self.next_epoch_at = Some(ctx.now().as_ns() + epoch);
@@ -1074,6 +1185,13 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                 orphaned
             ));
         }
+        if let Some(ctl) = &self.strip_ctl {
+            detail.push_str(&format!(
+                "; strip={} after {} retunes",
+                self.strip,
+                ctl.retunes()
+            ));
+        }
         Some(detail)
     }
 
@@ -1119,6 +1237,16 @@ impl<A: PtrApp> Proc for DpaProc<A> {
         stats.bump("updates_emitted", self.updates_emitted);
         stats.bump("updates_applied", self.updates_applied);
         stats.bump("update_msgs", self.update_msgs);
+        // Strip-controller columns only exist in adaptive runs, so the
+        // fixed-strip stat tables stay byte-identical.
+        if let Some(ctl) = &self.strip_ctl {
+            let sched = ctl.schedule();
+            stats.bump("strip_retunes", ctl.retunes());
+            stats.bump("strip_final", self.strip as u64);
+            stats.bump("strip_min_applied", sched.iter().copied().min().unwrap_or(0) as u64);
+            stats.bump("strip_max_applied", sched.iter().copied().max().unwrap_or(0) as u64);
+            stats.bump("strip_reversals_damped", ctl.reversals_damped());
+        }
         // Migration columns only exist in migration runs, so the baseline
         // stat tables stay byte-identical.
         if let Some(m) = &self.mig {

@@ -1,0 +1,494 @@
+//! Adaptive strip-size control: a per-node k-bound feedback controller.
+//!
+//! The paper strip-mines the top-level `conc` loop with a *static* strip
+//! size and leaves picking it to the programmer; its own strip-size figure
+//! shows the tension — small strips under-pipeline (too little outstanding
+//! communication to overlap), large strips hold an order of magnitude more
+//! suspended-thread state and eventually run *slower* (structure-operation
+//! pressure). This module replaces the static k-bound with a feedback
+//! controller that retunes the strip between strips, per node, from
+//! signals the runtime already has:
+//!
+//! * the **idle fraction** since the last strip boundary (from the node's
+//!   own [`sim_net::NodeStats`] — waiting on replies means the pipeline is
+//!   too shallow: grow);
+//! * the **suspended-thread population** (M's live threads — runtime
+//!   structure pressure means the strip is too deep: shrink).
+//!
+//! # Determinism
+//!
+//! The controller is a **pure function** of `(params, node, seed)` and the
+//! observed stat stream. It reads no wall clock and draws no randomness at
+//! decision time; the only "random" input is a per-node *dither* derived
+//! once, by a seeded hash of the node id, which offsets the dead band so
+//! that identically-loaded nodes do not all retune in lock-step. Replaying
+//! the same schedule therefore reproduces the same strip schedule
+//! bit-for-bit — which is exactly what the DST harness asserts.
+//!
+//! # Stability
+//!
+//! Three mechanisms bound the controller away from oscillation:
+//!
+//! * **bounds** — the strip is clamped to `[min, max]` always;
+//! * **multiplicative moves** — grow ×2 / shrink ÷2, so the strip crosses
+//!   the whole `[min, max]` range in `log2(max/min)` boundaries and a
+//!   stationary workload converges (and then holds) that fast;
+//! * **dead band + reversal cooldown** — inside
+//!   `target_idle_milli ± band` the controller holds, and after any move
+//!   it refuses to *reverse direction* for [`REVERSAL_COOLDOWN`]
+//!   boundaries (same-direction moves stay free), so a grow/shrink limit
+//!   cycle cannot form faster than the cooldown.
+//!
+//! The decision rule is **monotone in idle**: holding the pressure signal
+//! fixed, more observed idle never yields a smaller strip decision. The
+//! property tests in `tests/stripctl.rs` check all of this on arbitrary
+//! stat streams.
+
+use std::fmt;
+
+/// Parameters of the adaptive k-bound controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveStrip {
+    /// Smallest strip the controller may pick (≥ 1).
+    pub min: usize,
+    /// Largest strip the controller may pick (≥ `min`).
+    pub max: usize,
+    /// Idle-fraction setpoint in thousandths of the boundary-to-boundary
+    /// elapsed time. Above the dead band around this target the strip
+    /// grows (starved: deepen the pipeline); below it the strip shrinks
+    /// (saturated: shed suspended-thread state).
+    pub target_idle_milli: u32,
+}
+
+impl Default for AdaptiveStrip {
+    fn default() -> Self {
+        AdaptiveStrip {
+            min: 8,
+            max: 512,
+            target_idle_milli: 100,
+        }
+    }
+}
+
+/// How the k-bound of the top-level loop is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StripMode {
+    /// The paper's static strip: exactly `k` iterations live at once.
+    Fixed(usize),
+    /// Feedback-controlled strip in `[min, max]` (see [`StripController`]).
+    Adaptive(AdaptiveStrip),
+}
+
+impl StripMode {
+    /// `true` for [`StripMode::Adaptive`].
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, StripMode::Adaptive(_))
+    }
+
+    /// The adaptive parameters, when adaptive.
+    pub fn adaptive_params(&self) -> Option<AdaptiveStrip> {
+        match self {
+            StripMode::Adaptive(p) => Some(*p),
+            StripMode::Fixed(_) => None,
+        }
+    }
+
+    /// The strip the first boundary starts from: `k` for a fixed strip,
+    /// the (integer) geometric mean of the bounds for an adaptive one —
+    /// equidistant, in doublings, from both bounds.
+    pub fn initial_strip(&self) -> usize {
+        match *self {
+            StripMode::Fixed(k) => k,
+            StripMode::Adaptive(p) => isqrt(p.min as u64 * p.max as u64)
+                .clamp(p.min as u64, p.max as u64) as usize,
+        }
+    }
+}
+
+impl fmt::Display for StripMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StripMode::Fixed(k) => write!(f, "{k}"),
+            StripMode::Adaptive(p) => write!(
+                f,
+                "adaptive[{}..{}]@{}m",
+                p.min, p.max, p.target_idle_milli
+            ),
+        }
+    }
+}
+
+/// Integer square root (monotone, exact for squares).
+fn isqrt(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = n;
+    let mut y = x.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (x + n / x) / 2;
+    }
+    x
+}
+
+/// What one node observed between two strip boundaries.
+///
+/// The time fields are *deltas* over the inter-boundary window, in
+/// simulated ns; `suspended_threads` is the instantaneous M-mapping
+/// population at the boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StripObs {
+    /// Useful (application) computation charged in the window.
+    pub local_ns: u64,
+    /// Runtime/communication overhead charged in the window.
+    pub overhead_ns: u64,
+    /// Idle time accumulated in the window (waiting on events).
+    pub idle_ns: u64,
+    /// Threads currently suspended under M (aligned, waiting for data).
+    pub suspended_threads: u64,
+}
+
+impl StripObs {
+    /// Idle fraction of the window in thousandths (0 for an empty window).
+    pub fn idle_milli(&self) -> u32 {
+        let total = self.local_ns + self.overhead_ns + self.idle_ns;
+        if total == 0 {
+            0
+        } else {
+            ((self.idle_ns as u128 * 1000) / total as u128) as u32
+        }
+    }
+}
+
+/// Half-width of the dead band around `target_idle_milli`, in milli.
+pub const DEAD_BAND_MILLI: u32 = 50;
+/// Maximum per-node dither applied to the dead band, in milli (the seeded
+/// tie-break that desynchronizes identically-loaded nodes).
+pub const DITHER_SPAN_MILLI: u32 = 25;
+/// Boundaries a direction reversal must wait after the last move.
+pub const REVERSAL_COOLDOWN: u32 = 2;
+/// Suspended threads per unit of strip beyond which the pressure signal
+/// forces a shrink regardless of idle (runtime-structure state is growing
+/// much faster than the admission window that caused it).
+pub const PRESSURE_THREADS_PER_STRIP: u64 = 64;
+
+/// SplitMix64 finalizer (same shape the schedule perturbation uses).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One direction decision at a strip boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    Shrink,
+    Hold,
+    Grow,
+}
+
+/// The per-node k-bound feedback controller.
+///
+/// Feed it one [`StripObs`] per strip boundary via
+/// [`retune`](StripController::retune); it returns the strip to use for
+/// the next strip and appends it to the [`schedule`](Self::schedule) log
+/// (which the DST invariant checker audits against the bounds).
+#[derive(Clone, Debug)]
+pub struct StripController {
+    params: AdaptiveStrip,
+    /// Current strip (always within `[params.min, params.max]`).
+    strip: usize,
+    /// Per-node dead-band offset in `[-DITHER_SPAN_MILLI, +DITHER_SPAN_MILLI]`.
+    dither_milli: i32,
+    /// Boundaries remaining before a direction reversal is allowed.
+    cooldown: u32,
+    /// Direction of the last applied move (None until the first move).
+    last_move: Option<Dir>,
+    /// Every strip applied so far, starting with the initial strip.
+    schedule: Vec<u32>,
+    /// Moves suppressed by the reversal cooldown (diagnostics).
+    reversals_damped: u64,
+}
+
+impl StripController {
+    /// A controller for `node` under `params`, with tie-break dither
+    /// derived from `seed ^ node`. Pure: same arguments, same behavior.
+    pub fn new(params: AdaptiveStrip, node: u16, seed: u64) -> StripController {
+        assert!(params.min >= 1 && params.min <= params.max, "bad bounds");
+        let strip = StripMode::Adaptive(params)
+            .initial_strip()
+            .clamp(params.min, params.max);
+        let span = 2 * DITHER_SPAN_MILLI + 1;
+        let dither_milli =
+            (splitmix(seed ^ (node as u64).wrapping_mul(0xD1B5)) % span as u64) as i32
+                - DITHER_SPAN_MILLI as i32;
+        StripController {
+            params,
+            strip,
+            dither_milli,
+            cooldown: 0,
+            last_move: None,
+            schedule: vec![strip as u32],
+            reversals_damped: 0,
+        }
+    }
+
+    /// The strip currently in force.
+    pub fn strip(&self) -> usize {
+        self.strip
+    }
+
+    /// The controller's parameters.
+    pub fn params(&self) -> &AdaptiveStrip {
+        &self.params
+    }
+
+    /// Every strip applied so far (initial strip first).
+    pub fn schedule(&self) -> &[u32] {
+        &self.schedule
+    }
+
+    /// Retunes performed (strip boundaries observed).
+    pub fn retunes(&self) -> u64 {
+        self.schedule.len() as u64 - 1
+    }
+
+    /// Moves suppressed by the reversal cooldown.
+    pub fn reversals_damped(&self) -> u64 {
+        self.reversals_damped
+    }
+
+    /// The raw direction decision for an observation, before hysteresis.
+    ///
+    /// Monotone in `obs.idle_milli()` for a fixed pressure signal: more
+    /// idle never decides a smaller strip.
+    fn decide(&self, obs: &StripObs) -> Dir {
+        // Pressure overrides: suspended-thread state has outgrown the
+        // admission window that justified it. Idle cannot rescue a strip
+        // that is drowning the runtime structures.
+        if obs.suspended_threads > PRESSURE_THREADS_PER_STRIP * self.strip as u64 {
+            return Dir::Shrink;
+        }
+        let target = self.params.target_idle_milli as i64 + self.dither_milli as i64;
+        let idle = obs.idle_milli() as i64;
+        if idle > target + DEAD_BAND_MILLI as i64 {
+            Dir::Grow
+        } else if idle < target - DEAD_BAND_MILLI as i64 {
+            Dir::Shrink
+        } else {
+            Dir::Hold
+        }
+    }
+
+    /// Observe one inter-boundary window and return the strip for the
+    /// next strip. Appends to the schedule log exactly once per call.
+    pub fn retune(&mut self, obs: &StripObs) -> usize {
+        let mut dir = self.decide(obs);
+        // Hysteresis: a reversal (grow after shrink or vice versa) is
+        // suppressed while the cooldown from the last move runs down.
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            let reverses = matches!(
+                (self.last_move, dir),
+                (Some(Dir::Grow), Dir::Shrink) | (Some(Dir::Shrink), Dir::Grow)
+            );
+            if reverses {
+                self.reversals_damped += 1;
+                dir = Dir::Hold;
+            }
+        }
+        let next = match dir {
+            Dir::Grow => (self.strip.saturating_mul(2)).min(self.params.max),
+            Dir::Shrink => (self.strip / 2).max(self.params.min),
+            Dir::Hold => self.strip,
+        };
+        if next != self.strip {
+            self.strip = next;
+            self.last_move = Some(dir);
+            self.cooldown = REVERSAL_COOLDOWN;
+        }
+        self.schedule.push(self.strip as u32);
+        self.strip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_obs(idle_milli: u32) -> StripObs {
+        // A 1_000_000 ns window with the requested idle share, no pressure.
+        let idle_ns = idle_milli as u64 * 1_000;
+        StripObs {
+            local_ns: 1_000_000 - idle_ns,
+            overhead_ns: 0,
+            idle_ns,
+            suspended_threads: 0,
+        }
+    }
+
+    fn ctl() -> StripController {
+        StripController::new(AdaptiveStrip::default(), 0, 0)
+    }
+
+    #[test]
+    fn initial_strip_is_geometric_mean_within_bounds() {
+        let p = AdaptiveStrip {
+            min: 8,
+            max: 512,
+            target_idle_milli: 100,
+        };
+        let c = StripController::new(p, 3, 42);
+        assert_eq!(c.strip(), 64); // sqrt(8 * 512)
+        assert_eq!(c.schedule(), &[64]);
+        let tight = StripController::new(
+            AdaptiveStrip {
+                min: 50,
+                max: 50,
+                target_idle_milli: 100,
+            },
+            0,
+            0,
+        );
+        assert_eq!(tight.strip(), 50);
+    }
+
+    #[test]
+    fn starvation_grows_saturation_shrinks() {
+        let mut c = ctl();
+        let s0 = c.strip();
+        let grown = c.retune(&idle_obs(900));
+        assert_eq!(grown, s0 * 2, "far above target: grow x2");
+        let mut c = ctl();
+        let shrunk = c.retune(&idle_obs(0));
+        assert_eq!(shrunk, s0 / 2, "far below target: shrink /2");
+    }
+
+    #[test]
+    fn dead_band_holds() {
+        let mut c = ctl();
+        let s0 = c.strip();
+        // Dither is at most ±25 milli; 100 ± (50 - 25) is always in band.
+        for _ in 0..10 {
+            assert_eq!(c.retune(&idle_obs(100)), s0);
+        }
+        assert_eq!(c.retunes(), 10);
+    }
+
+    #[test]
+    fn bounds_are_hard() {
+        let mut c = ctl();
+        for _ in 0..64 {
+            c.retune(&idle_obs(1000));
+        }
+        assert_eq!(c.strip(), c.params().max);
+        for _ in 0..64 {
+            c.retune(&idle_obs(0));
+        }
+        assert_eq!(c.strip(), c.params().min);
+        for &s in c.schedule() {
+            assert!((s as usize) >= c.params().min && (s as usize) <= c.params().max);
+        }
+    }
+
+    #[test]
+    fn pressure_forces_shrink_despite_idle() {
+        let mut c = ctl();
+        let s0 = c.strip();
+        let obs = StripObs {
+            suspended_threads: PRESSURE_THREADS_PER_STRIP * s0 as u64 + 1,
+            ..idle_obs(900)
+        };
+        assert_eq!(c.retune(&obs), s0 / 2);
+    }
+
+    #[test]
+    fn reversal_cooldown_damps_oscillation() {
+        let mut c = ctl();
+        c.retune(&idle_obs(1000)); // grow; cooldown armed
+        let after_grow = c.strip();
+        let v = c.retune(&idle_obs(0)); // immediate reversal: damped
+        assert_eq!(v, after_grow);
+        assert_eq!(c.reversals_damped(), 1);
+        // Same-direction moves are never damped.
+        let mut c = ctl();
+        let a = c.retune(&idle_obs(1000));
+        let b = c.retune(&idle_obs(1000));
+        assert_eq!(b, a * 2);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let stream: Vec<StripObs> = (0..40)
+            .map(|i| StripObs {
+                local_ns: 1000 + i * 37,
+                overhead_ns: i * 11,
+                idle_ns: (i * 97) % 1500,
+                suspended_threads: i * 13 % 900,
+            })
+            .collect();
+        let run = |node: u16, seed: u64| {
+            let mut c = StripController::new(AdaptiveStrip::default(), node, seed);
+            for o in &stream {
+                c.retune(o);
+            }
+            c.schedule().to_vec()
+        };
+        assert_eq!(run(3, 7), run(3, 7), "same node+seed: identical schedule");
+        // Different nodes may differ (dither), but both stay in bounds.
+        for node in 0..4 {
+            for &s in &run(node, 7) {
+                assert!((8..=512).contains(&(s as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn decision_is_monotone_in_idle() {
+        let c = ctl();
+        let mut last = Dir::Shrink;
+        for idle in 0..=1000 {
+            let d = c.decide(&idle_obs(idle));
+            let rank = |d: Dir| match d {
+                Dir::Shrink => 0,
+                Dir::Hold => 1,
+                Dir::Grow => 2,
+            };
+            assert!(
+                rank(d) >= rank(last),
+                "decision regressed at idle={idle}: {last:?} -> {d:?}"
+            );
+            last = d;
+        }
+    }
+
+    #[test]
+    fn stationary_stream_converges_within_log2_range() {
+        // From any start, a constant observation pins the strip within
+        // log2(max/min) boundaries, then holds it forever.
+        for idle in [0, 100, 1000] {
+            let mut c = ctl();
+            let budget = (c.params().max / c.params().min).ilog2() as usize + 1;
+            for _ in 0..budget {
+                c.retune(&idle_obs(idle));
+            }
+            let settled = c.strip();
+            for _ in 0..16 {
+                assert_eq!(c.retune(&idle_obs(idle)), settled);
+            }
+        }
+    }
+
+    #[test]
+    fn isqrt_is_exact_on_squares() {
+        for n in 0..200u64 {
+            assert_eq!(isqrt(n * n), n);
+        }
+        assert_eq!(isqrt(10), 3);
+        assert_eq!(StripMode::Fixed(50).initial_strip(), 50);
+        assert!(!StripMode::Fixed(50).is_adaptive());
+        assert!(StripMode::Adaptive(AdaptiveStrip::default()).is_adaptive());
+    }
+}
