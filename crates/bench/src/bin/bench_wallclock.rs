@@ -1,0 +1,181 @@
+//! **bench_wallclock** — wall-clock throughput of the simulator itself,
+//! sequential engine vs the conservative-window parallel engine.
+//!
+//! Everything else in `bench/` reports *simulated* time (the paper's
+//! quantity). This binary times the *simulator*: for Barnes-Hut and FMM
+//! force phases at P = 16 and P = 64, it runs the identical workload on
+//! `Machine::run()` (threads = 1) and `Machine::run_parallel(k)` for
+//! k ∈ {2, 4, 8}, and reports host wall-clock, events/second, and speedup
+//! over the sequential engine. Each parallel run's `RunReport` and
+//! interaction checksum are asserted bit-identical to the sequential
+//! baseline, so the speedup table is also an equivalence check at scale.
+//!
+//! Results go to `results/BENCH_wallclock.json` together with
+//! `host_cpus` (`std::thread::available_parallelism`): parallel-engine
+//! speedup is only physically possible when the host grants more than
+//! one core, so readers must interpret the table against that field.
+//!
+//! Run with `--quick` for a reduced problem size.
+
+use apps::bh_dist::BhApp;
+use apps::fmm_dist::{FmmEvalApp, FmmM2lApp};
+use nbody::fmm::Local;
+use bench::*;
+use dpa_core::{run_phase_dst, DpaConfig, DstOptions};
+use sim_net::RunReport;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Thread counts to sweep; 1 selects the sequential engine.
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// One timed run: the phase report(s), an order-independent interaction
+/// checksum, and the host wall-clock the simulator consumed.
+struct Timed {
+    reports: Vec<RunReport>,
+    checksum: u64,
+    wall: f64,
+}
+
+fn opts(threads: usize) -> DstOptions {
+    DstOptions {
+        threads,
+        ..DstOptions::default()
+    }
+}
+
+/// Time one Barnes-Hut force phase at `nodes` under `threads`.
+fn time_bh(bodies: usize, nodes: u16, threads: usize) -> Timed {
+    let world = bh_world_sized(bodies, nodes);
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    let (report, _) = run_phase_dst(
+        nodes,
+        paper_net(),
+        DpaConfig::dpa(50),
+        &opts(threads),
+        |i| BhApp::new(world.clone(), i),
+        |_, app: &BhApp| checksum = checksum.wrapping_add(app.interaction_hash),
+    );
+    let wall = start.elapsed().as_secs_f64();
+    assert!(report.completed, "BH phase stalled");
+    Timed {
+        reports: vec![report],
+        checksum,
+        wall,
+    }
+}
+
+/// Time one FMM force phase (M2L sub-phase, barrier, downward + eval) at
+/// `nodes` under `threads`. Both sub-phases run on the selected engine.
+fn time_fmm(particles: usize, terms: usize, nodes: u16, threads: usize) -> Timed {
+    let world = fmm_world_sized(particles, terms, nodes);
+    let mut checksum = 0u64;
+    let mut partials: Vec<HashMap<u32, Local>> = (0..nodes).map(|_| HashMap::new()).collect();
+    let start = Instant::now();
+    let (r1, _) = run_phase_dst(
+        nodes,
+        paper_net(),
+        DpaConfig::dpa(50),
+        &opts(threads),
+        |i| FmmM2lApp::new(world.clone(), i),
+        |i, app: &FmmM2lApp| {
+            partials[i as usize] = app.locals.clone();
+            checksum = checksum.wrapping_add(app.interaction_hash);
+        },
+    );
+    assert!(r1.completed, "FMM M2L sub-phase stalled");
+    let mut partials_iter = partials.into_iter();
+    let (r2, _) = run_phase_dst(
+        nodes,
+        paper_net(),
+        DpaConfig::dpa(50),
+        &opts(threads),
+        |i| {
+            let part = partials_iter.next().expect("one partial per node");
+            FmmEvalApp::new(world.clone(), i, part)
+        },
+        |_, app: &FmmEvalApp| checksum = checksum.wrapping_add(app.interaction_hash),
+    );
+    let wall = start.elapsed().as_secs_f64();
+    assert!(r2.completed, "FMM eval sub-phase stalled");
+    Timed {
+        reports: vec![r1, r2],
+        checksum,
+        wall,
+    }
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let (bh_n, fmm_n, fmm_p) = if quick {
+        (2_048, 4_096, 12)
+    } else {
+        (PAPER_BH_BODIES, PAPER_FMM_PARTICLES, PAPER_FMM_TERMS)
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== Simulator wall-clock: sequential vs conservative-window parallel ==");
+    println!(
+        "host cpus: {host_cpus} | BH {bh_n} bodies | FMM {fmm_n} particles, {fmm_p} terms\n"
+    );
+
+    let mut points = Vec::new();
+    type TimedRun<'a> = &'a dyn Fn(u16, usize) -> Timed;
+    let apps: &[(&str, TimedRun)] = &[
+        ("bh", &|p, k| time_bh(bh_n, p, k)),
+        ("fmm", &|p, k| time_fmm(fmm_n, fmm_p, p, k)),
+    ];
+    for (app, run) in apps {
+        for &p in &[16u16, 64] {
+            println!("{app} P={p}:  threads    wall_s      events     ev/s   speedup  identical");
+            let mut base: Option<Timed> = None;
+            for &k in THREADS {
+                let t = run(p, k);
+                let events: u64 = t.reports.iter().map(|r| r.events_processed).sum();
+                let evps = events as f64 / t.wall.max(1e-9);
+                let (speedup, identical) = match &base {
+                    None => (1.0, true),
+                    Some(b) => (
+                        b.wall / t.wall.max(1e-9),
+                        b.reports == t.reports && b.checksum == t.checksum,
+                    ),
+                };
+                assert!(
+                    identical,
+                    "{app} P={p}: parallel engine (k={k}) diverged from sequential"
+                );
+                println!(
+                    "           {k:>7} {:>9.3} {events:>11} {evps:>8.0} {speedup:>8.2}x  {identical}",
+                    t.wall
+                );
+                let makespan: u64 = t.reports.iter().map(|r| r.makespan().as_ns()).sum();
+                points.push(
+                    ExpPoint::new(
+                        "bench_wallclock",
+                        app,
+                        &format!("threads-{k}"),
+                        p,
+                        makespan,
+                        &t.reports[0].stats,
+                    )
+                    .with("threads", k as f64)
+                    .with("wall_s", t.wall)
+                    .with("events", events as f64)
+                    .with("events_per_sec", evps)
+                    .with("speedup_vs_seq", speedup)
+                    .with("host_cpus", host_cpus as f64)
+                    .with("quick", if quick { 1.0 } else { 0.0 }),
+                );
+                if k == 1 {
+                    base = Some(t);
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "All parallel runs bit-identical to sequential. NOTE: speedup > 1 \
+         requires host_cpus > 1 (this host: {host_cpus})."
+    );
+    dump_json("BENCH_wallclock", &points);
+}

@@ -79,6 +79,7 @@ fn demo_lost_reply(w: &Worlds) -> Option<String> {
         let opts = DstOptions {
             schedule_seed: None,
             faults: FaultPlan::drop_nth(n),
+            ..DstOptions::default()
         };
         let (report, snaps) = run_phase_dst(
             world.nodes,
@@ -184,6 +185,7 @@ fn main() {
                 let opts = DstOptions {
                     schedule_seed: Some(schedule_seed(seed)),
                     faults: plan_for(plan_name, seed),
+                    ..DstOptions::default()
                 };
                 let out = run_one(&w, workload, &opts);
                 row.runs += 1;

@@ -513,8 +513,17 @@ pub fn corpus_write(workload: &str, seed: u64, plan: &str, violations: &[String]
 /// Re-run one recorded corpus case.
 ///
 /// Returns 0 when the case no longer reproduces, 1 when it still violates
-/// an invariant, 2 on a malformed case file.
+/// an invariant, 2 on a malformed case file. Honors `DPA_SIM_THREADS`
+/// (via [`DstOptions::default`]); use [`replay_with_threads`] to pin the
+/// engine explicitly.
 pub fn replay(path: &str) -> i32 {
+    replay_with_threads(path, sim_net::env_threads())
+}
+
+/// [`replay`] with an explicit simulator thread count — the DST smoke lane
+/// for the parallel engine replays every committed corpus case with
+/// `threads > 1` and must reach the same verdict as the sequential replay.
+pub fn replay_with_threads(path: &str, threads: usize) -> i32 {
     let body = match std::fs::read_to_string(path) {
         Ok(b) => b,
         Err(e) => {
@@ -560,12 +569,20 @@ pub fn replay(path: &str) -> i32 {
         return 2;
     }
 
-    println!("replaying {workload} seed={seed} plan={plan}");
+    println!("replaying {workload} seed={seed} plan={plan} threads={threads}");
     let w = Worlds::build();
-    let baseline = run_one(&w, workload, &DstOptions::default());
+    let baseline = run_one(
+        &w,
+        workload,
+        &DstOptions {
+            threads,
+            ..DstOptions::default()
+        },
+    );
     let opts = DstOptions {
         schedule_seed: Some(schedule_seed(seed)),
         faults: plan_for(plan, seed),
+        threads,
     };
     let out = run_one(&w, workload, &opts);
     println!(

@@ -13,8 +13,7 @@ fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/dst_corpus")
 }
 
-#[test]
-fn every_committed_corpus_case_replays_clean() {
+fn corpus_cases() -> Vec<PathBuf> {
     let dir = corpus_dir();
     let mut cases: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap_or_else(|e| panic!("cannot read corpus dir {}: {e}", dir.display()))
@@ -32,13 +31,34 @@ fn every_committed_corpus_case_replays_clean() {
         "no .case files in {} — at least one committed regression case is expected",
         dir.display()
     );
-    for case in cases {
+    cases
+}
+
+#[test]
+fn every_committed_corpus_case_replays_clean() {
+    for case in corpus_cases() {
         let path = case.to_string_lossy();
         let code = bench::dst::replay(&path);
         assert_eq!(
             code, 0,
             "corpus case {path} did not replay clean (replay exit code {code}; \
              1 = violation reproduces, 2 = malformed case file)"
+        );
+    }
+}
+
+/// Parallel-engine smoke lane: every committed corpus case must reach the
+/// same clean verdict when replayed on the conservative-window engine
+/// (`run_parallel` is bit-identical to `run()`, so any divergence here is
+/// an engine bug, not a workload regression).
+#[test]
+fn every_committed_corpus_case_replays_clean_in_parallel() {
+    for case in corpus_cases() {
+        let path = case.to_string_lossy();
+        let code = bench::dst::replay_with_threads(&path, 4);
+        assert_eq!(
+            code, 0,
+            "corpus case {path} diverged on the parallel engine (exit code {code})"
         );
     }
 }

@@ -13,24 +13,28 @@ use crate::program::{Op, Term, TId, Value};
 use crate::world::IccWorld;
 use dpa_core::{PtrApp, WorkEnv};
 use global_heap::GPtr;
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Where a returning activation delivers its value.
+///
+/// Join cells are shared only between tasks of *one* node, which always
+/// execute on a single simulator worker — but `PtrApp::Work` must be
+/// `Send` (the parallel engine moves whole nodes across threads), so the
+/// cells are `Arc<Mutex<…>>` rather than `Rc<RefCell<…>>`. The locks are
+/// never contended.
 struct JoinState {
     remaining: usize,
     results: Vec<Value>,
     cont: TId,
     cont_regs: Vec<Value>,
-    parent: Option<(Rc<RefCell<JoinState>>, usize)>,
+    parent: Option<(Arc<Mutex<JoinState>>, usize)>,
 }
 
 /// One template activation: the interpreter's work item.
 pub struct IccTask {
     t: TId,
     regs: Vec<Value>,
-    ret_to: Option<(Rc<RefCell<JoinState>>, usize)>,
+    ret_to: Option<(Arc<Mutex<JoinState>>, usize)>,
 }
 
 /// Per-node interpreter state.
@@ -78,20 +82,20 @@ impl IccApp {
     fn deliver(
         &mut self,
         env: &mut WorkEnv<'_, IccTask>,
-        target: Option<(Rc<RefCell<JoinState>>, usize)>,
+        target: Option<(Arc<Mutex<JoinState>>, usize)>,
         v: Value,
     ) {
         match target {
             None => self.accumulate(v),
             Some((cell, slot)) => {
                 let ready = {
-                    let mut st = cell.borrow_mut();
+                    let mut st = cell.lock().expect("join cell poisoned");
                     st.results[slot] = v;
                     st.remaining -= 1;
                     st.remaining == 0
                 };
                 if ready {
-                    let mut st = cell.borrow_mut();
+                    let mut st = cell.lock().expect("join cell poisoned");
                     let mut regs = std::mem::take(&mut st.cont_regs);
                     regs.append(&mut st.results);
                     let task = IccTask {
@@ -302,7 +306,7 @@ impl PtrApp for IccApp {
                 cont,
                 cont_args,
             } => {
-                let cell = Rc::new(RefCell::new(JoinState {
+                let cell = Arc::new(Mutex::new(JoinState {
                     remaining: 1,
                     results: vec![Value::Int(0)],
                     cont: *cont,
@@ -320,7 +324,7 @@ impl PtrApp for IccApp {
                 cont,
                 cont_args,
             } => {
-                let cell = Rc::new(RefCell::new(JoinState {
+                let cell = Arc::new(Mutex::new(JoinState {
                     remaining: children.len(),
                     results: vec![Value::Int(0); children.len()],
                     cont: *cont,

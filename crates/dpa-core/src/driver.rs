@@ -74,7 +74,7 @@ pub fn run_phase_traced<A: PtrApp>(
 }
 
 /// Knobs for a deterministic-simulation-testing run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct DstOptions {
     /// When `Some`, perturb event ordering with this seed: equal-timestamp
     /// events are permuted and (if `net.jitter_ns > 0`) remote deliveries
@@ -82,6 +82,22 @@ pub struct DstOptions {
     pub schedule_seed: Option<u64>,
     /// Fault plan applied to every send (see [`sim_net::fault`]).
     pub faults: FaultPlan,
+    /// Simulator worker threads (`Machine::run_threads`). `> 1` selects the
+    /// conservative-window parallel engine, which is bit-identical to the
+    /// sequential one; defaults to the `DPA_SIM_THREADS` environment
+    /// variable (1 when unset), so an entire sweep can be switched to the
+    /// parallel engine from the outside.
+    pub threads: usize,
+}
+
+impl Default for DstOptions {
+    fn default() -> Self {
+        DstOptions {
+            schedule_seed: None,
+            faults: FaultPlan::default(),
+            threads: sim_net::env_threads(),
+        }
+    }
 }
 
 /// Like [`run_phase_faulty`] but under DST control: applies `opts`' fault
@@ -110,7 +126,7 @@ pub fn run_phase_dst<A: PtrApp>(
             if let Some(seed) = opts.schedule_seed {
                 m.perturb_schedule(seed);
             }
-            let report = m.run();
+            let report = m.run_threads(opts.threads);
             let mut snaps = Vec::with_capacity(nodes as usize);
             for i in 0..nodes {
                 let p = m.proc(NodeId(i));
@@ -128,7 +144,7 @@ pub fn run_phase_dst<A: PtrApp>(
             if let Some(seed) = opts.schedule_seed {
                 m.perturb_schedule(seed);
             }
-            let report = m.run();
+            let report = m.run_threads(opts.threads);
             let mut snaps = Vec::with_capacity(nodes as usize);
             for i in 0..nodes {
                 let p = m.proc(NodeId(i));
@@ -210,7 +226,7 @@ pub fn run_phase_migrating<A: PtrApp>(
             // Vary the perturbation per phase, deterministically.
             m.perturb_schedule(seed.wrapping_add(phase as u64));
         }
-        reports.push(m.run());
+        reports.push(m.run_threads(opts.threads));
         let mut snaps = Vec::with_capacity(nodes as usize);
         for i in 0..nodes {
             let p = m.proc(NodeId(i));
@@ -277,7 +293,7 @@ pub fn run_phase_faulty<A: PtrApp>(
                 .map(|i| DpaProc::new(mk(i), nodes as usize, cfg.clone()))
                 .collect();
             let mut m = Machine::new(procs, net);
-            let report = m.run();
+            let report = m.run_threads(sim_net::env_threads());
             for i in 0..nodes {
                 collect(i, m.proc(NodeId(i)).app());
             }
@@ -288,7 +304,7 @@ pub fn run_phase_faulty<A: PtrApp>(
                 .map(|i| CachingProc::new(mk(i), cfg.clone()))
                 .collect();
             let mut m = Machine::new(procs, net);
-            let report = m.run();
+            let report = m.run_threads(sim_net::env_threads());
             for i in 0..nodes {
                 collect(i, m.proc(NodeId(i)).app());
             }

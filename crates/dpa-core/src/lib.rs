@@ -31,6 +31,7 @@
 
 pub mod config;
 pub mod driver;
+pub mod fxmap;
 pub mod invariant;
 pub mod mapping;
 pub mod msg;
@@ -46,6 +47,7 @@ pub use config::{ConfigError, CostModel, DpaConfig, Variant};
 pub use driver::{
     run_phase, run_phase_dst, run_phase_faulty, run_phase_migrating, run_phase_traced, DstOptions,
 };
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use invariant::{check_completed, check_conservation, NodeSnapshot, Violation};
 pub use mapping::PointerMap;
 pub use msg::DpaMsg;

@@ -7,14 +7,14 @@
 //! aligned under it is released in one batch — the dynamic analogue of
 //! tiling's iteration grouping.
 
+use crate::fxmap::FxHashMap;
 use global_heap::GPtr;
-use std::collections::HashMap;
 
 /// Pointer → dependent threads, with high-water-mark accounting for the
 /// paper's thread-statistics table.
 #[derive(Clone, Debug)]
 pub struct PointerMap<W> {
-    map: HashMap<GPtr, Vec<W>>,
+    map: FxHashMap<GPtr, Vec<W>>,
     live_threads: u64,
     peak_threads: u64,
     peak_keys: u64,
@@ -24,7 +24,7 @@ pub struct PointerMap<W> {
 impl<W> Default for PointerMap<W> {
     fn default() -> Self {
         PointerMap {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             live_threads: 0,
             peak_threads: 0,
             peak_keys: 0,

@@ -52,6 +52,15 @@ impl PendingRequests {
         self.set.iter()
     }
 
+    /// The `n` smallest outstanding pointers, rendered. Sorted so that
+    /// snapshots and stall reports are byte-identical across runs (the
+    /// backing set's iteration order is seeded per-process).
+    pub fn sorted_sample(&self, n: usize) -> Vec<String> {
+        let mut all: Vec<&GPtr> = self.set.iter().collect();
+        all.sort_unstable();
+        all.into_iter().take(n).map(|p| p.to_string()).collect()
+    }
+
     /// Requests currently outstanding.
     pub fn len(&self) -> usize {
         self.set.len()
@@ -99,6 +108,17 @@ mod tests {
         assert!(d.complete(p(1)));
         assert!(!d.complete(p(1)), "double completion must be visible");
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn sorted_sample_is_deterministic() {
+        let mut d = PendingRequests::new();
+        for i in [9, 3, 7, 1, 5] {
+            d.insert(p(i));
+        }
+        let sample = d.sorted_sample(3);
+        assert_eq!(sample, vec![p(1).to_string(), p(3).to_string(), p(5).to_string()]);
+        assert_eq!(d.sorted_sample(10).len(), 5);
     }
 
     #[test]

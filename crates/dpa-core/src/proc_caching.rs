@@ -24,7 +24,8 @@ use crate::msg::DpaMsg;
 use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
 use global_heap::{GPtr, SoftCache};
 use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
-use std::collections::{HashMap, HashSet};
+use crate::fxmap::FxHashMap;
+use std::collections::HashSet;
 
 struct Stalled<W> {
     iter: u32,
@@ -48,7 +49,7 @@ pub struct CachingProc<A: PtrApp> {
     cont_stack: Vec<(u32, Vec<Emit<A::Work>>)>,
     cache: SoftCache,
     stalled: Option<Stalled<A::Work>>,
-    iter_live: HashMap<u32, u32>,
+    iter_live: FxHashMap<u32, u32>,
     next_iter: usize,
     total_iters: usize,
     completed_iters: u64,
@@ -100,7 +101,7 @@ impl<A: PtrApp> CachingProc<A> {
             cont_stack: Vec::new(),
             cache: SoftCache::with_policy(capacity, policy),
             stalled: None,
-            iter_live: HashMap::new(),
+            iter_live: FxHashMap::default(),
             next_iter: 0,
             total_iters,
             completed_iters: 0,

@@ -71,6 +71,7 @@ use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
 use fastmsg::{ByteCoalescer, Coalescer};
 use global_heap::{ArrivalSet, GPtr, MigrationTable};
 use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
+use crate::fxmap::FxHashMap;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Wire bytes of one `(pointer, f64)` reduction entry.
@@ -162,7 +163,7 @@ pub struct DpaProc<A: PtrApp> {
     /// retune observes the inter-boundary *deltas*.
     ctl_obs_base: (u64, u64, u64),
     /// Live work count per open iteration.
-    iter_live: HashMap<u32, u32>,
+    iter_live: FxHashMap<u32, u32>,
     next_iter: usize,
     total_iters: usize,
     completed_iters: u64,
@@ -264,7 +265,7 @@ impl<A: PtrApp> DpaProc<A> {
             forwarded_entries: 0,
             orphans_total: 0,
             orphans_served: 0,
-            iter_live: HashMap::new(),
+            iter_live: FxHashMap::default(),
             next_iter: 0,
             total_iters,
             completed_iters: 0,
@@ -394,7 +395,7 @@ impl<A: PtrApp> DpaProc<A> {
             map_keys: self.map.keys(),
             map_threads: self.map.live_threads(),
             pending_requests: self.pending.len(),
-            pending_sample: self.pending.iter().take(4).map(|p| p.to_string()).collect(),
+            pending_sample: self.pending.sorted_sample(4),
             in_flight: self.in_flight.len(),
             requests_issued: self.pending.total(),
             objects_installed: self.installs,
@@ -605,7 +606,7 @@ impl<A: PtrApp> DpaProc<A> {
             return;
         }
         let me = ctx.me().0;
-        let mut per_dst: HashMap<u16, Vec<(GPtr, u32)>> = HashMap::new();
+        let mut per_dst: FxHashMap<u16, Vec<(GPtr, u32)>> = FxHashMap::default();
         for (ptr, n) in self.aff_pending.drain() {
             let home = match &self.mig {
                 Some(m) => m.home_of(ptr, me),
@@ -690,7 +691,7 @@ impl<A: PtrApp> DpaProc<A> {
         }
         let me = ctx.me().0;
         let mut serve = Vec::with_capacity(ptrs.len());
-        let mut fwd: HashMap<u16, Vec<GPtr>> = HashMap::new();
+        let mut fwd: FxHashMap<u16, Vec<GPtr>> = FxHashMap::default();
         let mut early: Vec<GPtr> = Vec::new();
         {
             let m = self.mig.as_ref().expect("checked above");
@@ -1063,7 +1064,7 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                     return;
                 }
                 let me = ctx.me().0;
-                let mut orphan_replies: HashMap<u16, Vec<(GPtr, u32)>> = HashMap::new();
+                let mut orphan_replies: FxHashMap<u16, Vec<(GPtr, u32)>> = FxHashMap::default();
                 for (ptr, size) in entries {
                     let adopted = self
                         .mig
@@ -1164,7 +1165,7 @@ impl<A: PtrApp> Proc for DpaProc<A> {
         if self.done {
             return None;
         }
-        let stuck: Vec<String> = self.pending.iter().take(4).map(|p| p.to_string()).collect();
+        let stuck = self.pending.sorted_sample(4);
         let mut detail = format!(
             "iters {}/{} done, {} live; D={} in_flight={} M={} keys/{} threads; stuck on [{}]",
             self.completed_iters,

@@ -170,9 +170,15 @@ impl<'a, W> WorkEnv<'a, W> {
 /// One instance exists per simulated node; shared read-only world state
 /// (the tree, the bodies) typically lives behind an `Arc` inside the
 /// implementor.
-pub trait PtrApp {
+///
+/// Apps (and their thread states) are `Send`: the parallel simulation
+/// engine (`sim_net::Machine::run_parallel`) moves each node's proc — app
+/// and queued work included — onto a worker thread. Nothing is ever
+/// *shared* mutably across threads (each node stays on one worker), so
+/// `Sync` is not required.
+pub trait PtrApp: Send {
     /// The state of one non-blocking thread.
-    type Work;
+    type Work: Send;
 
     /// Length of this node's top-level concurrent loop (e.g. the number of
     /// locally-owned bodies whose forces this node computes).

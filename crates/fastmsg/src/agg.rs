@@ -8,6 +8,19 @@
 //! available and drains everything ([`FlushReason::Drain`]). The runtime
 //! never lets requests sit while the node idles — that would trade overhead
 //! for latency — so `Drain` happens at every scheduling quiescence point.
+//!
+//! ## Flush ordering and the parallel engine
+//!
+//! Both flush paths emit batches in ascending destination order (the
+//! `nonempty` list is kept sorted), and a flush happens *inside* the event
+//! handler that triggered it — the resulting packets are stamped and
+//! sequenced at that event's timestamp before the handler returns. This
+//! matters for `sim_net`'s conservative-window parallel engine: because
+//! every send a handler makes is ordered by the per-source sequence counter
+//! at emission time, a window boundary can never fall "between" the batches
+//! of one drain. The parallel engine therefore observes exactly the
+//! sequential engine's flush order, which is one of the invariants behind
+//! its bit-identical replay guarantee.
 
 use std::collections::VecDeque;
 

@@ -169,6 +169,13 @@ pub struct FaultInjector {
     plan: FaultPlan,
     chans: BTreeMap<(u16, u16), Rng>,
     sent: u64,
+    /// Cached at construction: the plan has no probabilistic faults, so
+    /// [`FaultInjector::decide`] never needs a per-channel RNG stream.
+    no_prob: bool,
+    /// Cached at construction: `no_prob` *and* no counter faults either —
+    /// every message delivers untouched. This is the hot path of every
+    /// fault-free benchmark run, reduced to one branch and a counter bump.
+    fast_deliver: bool,
 }
 
 fn channel_seed(seed: u64, src: u16, dst: u16) -> u64 {
@@ -184,10 +191,14 @@ fn channel_seed(seed: u64, src: u16, dst: u16) -> u64 {
 impl FaultInjector {
     /// Build an injector for `plan`.
     pub fn new(plan: FaultPlan) -> FaultInjector {
+        let no_prob = plan.drop_p == 0.0 && plan.dup_p == 0.0 && plan.delay_p == 0.0;
+        let fast_deliver = no_prob && plan.drop_nth.is_none() && plan.drop_every.is_none();
         FaultInjector {
             plan,
             chans: BTreeMap::new(),
             sent: 0,
+            no_prob,
+            fast_deliver,
         }
     }
 
@@ -202,6 +213,12 @@ impl FaultInjector {
     /// so decision k on a channel is schedule-independent.
     pub fn decide(&mut self, src: u16, dst: u16) -> FaultAction {
         self.sent += 1;
+        if self.fast_deliver {
+            return FaultAction::Deliver {
+                extra_delay_ns: 0,
+                duplicate: false,
+            };
+        }
         if self.plan.drop_nth == Some(self.sent) {
             return FaultAction::Drop;
         }
@@ -210,7 +227,7 @@ impl FaultInjector {
                 return FaultAction::Drop;
             }
         }
-        if self.plan.drop_p == 0.0 && self.plan.dup_p == 0.0 && self.plan.delay_p == 0.0 {
+        if self.no_prob {
             return FaultAction::Deliver {
                 extra_delay_ns: 0,
                 duplicate: false,
@@ -276,6 +293,27 @@ mod tests {
         }
         assert!(FaultPlan::none().is_none());
         assert_eq!(FaultPlan::none().describe(), "none");
+    }
+
+    #[test]
+    fn fault_free_fast_path_allocates_no_channel_streams() {
+        let mut f = FaultInjector::new(FaultPlan::none());
+        for k in 0..1000u16 {
+            assert_eq!(
+                f.decide(k % 4, (k + 1) % 4),
+                FaultAction::Deliver {
+                    extra_delay_ns: 0,
+                    duplicate: false
+                }
+            );
+        }
+        assert!(f.chans.is_empty(), "no RNG streams on the fast path");
+        assert_eq!(f.messages_seen(), 1000);
+        // Counter-only plans skip RNG setup too but still drop on count.
+        let mut g = FaultInjector::new(FaultPlan::drop_nth(3));
+        let fates: Vec<_> = (0..4).map(|_| g.decide(0, 1)).collect();
+        assert_eq!(fates[2], FaultAction::Drop);
+        assert!(g.chans.is_empty());
     }
 
     #[test]

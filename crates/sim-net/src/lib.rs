@@ -65,7 +65,7 @@ pub mod time;
 pub mod trace;
 
 pub use fault::{FaultAction, FaultInjector, FaultPlan, NodePause};
-pub use machine::{Ctx, Machine, NodeId, Proc, RunReport, StallInfo};
+pub use machine::{env_threads, Ctx, Machine, NodeId, Proc, RunReport, StallInfo};
 pub use network::{MsgSize, NetConfig};
 pub use rng::Rng;
 pub use stats::{ChargeKind, NodeStats, RunStats};

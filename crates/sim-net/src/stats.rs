@@ -19,7 +19,7 @@ pub enum ChargeKind {
 }
 
 /// Accumulated statistics for a single simulated node.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Time spent in useful local computation.
     pub local: Dur,
@@ -74,7 +74,7 @@ impl NodeStats {
 
 /// Aggregate view over every node in a run; produced by
 /// [`crate::machine::Machine::run`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// One entry per node.
     pub nodes: Vec<NodeStats>,

@@ -78,6 +78,7 @@ proptest! {
             let opts = DstOptions {
                 schedule_seed: Some(seed),
                 faults: FaultPlan::duplicate(seed ^ 0xD0_D0, dup_p),
+                ..DstOptions::default()
             };
             let mut sums = vec![0u64; nodes as usize];
             let (report, snaps) = run_phase_dst(
@@ -115,6 +116,7 @@ proptest! {
         let opts = DstOptions {
             schedule_seed: Some(seed),
             faults: FaultPlan::duplicate(seed ^ 0xD0_D0, dup_p),
+            ..DstOptions::default()
         };
         let mut next = vec![0.0f64; expected.len()];
         let (report, snaps) = run_phase_dst(
@@ -155,6 +157,7 @@ proptest! {
         let opts = DstOptions {
             schedule_seed: Some(seed),
             faults: FaultPlan::drop(seed ^ 0x0D0D, drop_p),
+            ..DstOptions::default()
         };
         let mut sums = vec![0u64; nodes as usize];
         let (report, snaps) = run_phase_dst(
@@ -255,6 +258,7 @@ proptest! {
         let opts = DstOptions {
             schedule_seed: Some(seed),
             faults,
+            ..DstOptions::default()
         };
         let mut sums = vec![0u64; nodes as usize];
         let (report, snaps) = run_phase_dst(
@@ -318,7 +322,7 @@ proptest! {
                 ..FaultPlan::default()
             },
         };
-        let opts = DstOptions { schedule_seed: Some(seed), faults };
+        let opts = DstOptions { schedule_seed: Some(seed), faults, ..DstOptions::default() };
         let phases = 3usize;
         let mut sums = vec![0u64; phases * nodes as usize];
         let (reports, snap_sets, _tables) = run_phase_migrating(
@@ -367,6 +371,7 @@ proptest! {
         let opts = DstOptions {
             schedule_seed: Some(seed),
             faults: FaultPlan::delay(seed ^ 0xDE1A, delay_p, 80_000),
+            ..DstOptions::default()
         };
         let mut sums = vec![0u64; nodes as usize];
         let (report, snaps) = run_phase_dst(
