@@ -138,6 +138,28 @@ pub struct Outcome {
     pub stalls: String,
 }
 
+/// Every observable bit of an [`Outcome`], in comparable form — shared by
+/// the engine- and queue-equivalence suites. Floating-point digests are
+/// rendered by *bit pattern*, not tolerance: two configurations claiming
+/// bit-identity must produce the same schedule, hence the same reduction
+/// order, hence the same bits.
+pub fn fingerprint(o: &Outcome) -> (bool, u64, String, String, String) {
+    let digest = match &o.digest {
+        Digest::Ints(v) => format!("ints:{v:x?}"),
+        Digest::Floats(v) => {
+            let bits: Vec<u64> = v.iter().map(|f| f.to_bits()).collect();
+            format!("floats:{bits:x?}")
+        }
+    };
+    (
+        o.completed,
+        o.dropped,
+        digest,
+        format!("{:?}", o.snaps),
+        o.stalls.clone(),
+    )
+}
+
 /// Network config for a run: jitter only when the schedule is perturbed.
 pub fn net_for(opts: &DstOptions) -> NetConfig {
     NetConfig {
@@ -583,6 +605,7 @@ pub fn replay_with_threads(path: &str, threads: usize) -> i32 {
         schedule_seed: Some(schedule_seed(seed)),
         faults: plan_for(plan, seed),
         threads,
+        ..DstOptions::default()
     };
     let out = run_one(&w, workload, &opts);
     println!(

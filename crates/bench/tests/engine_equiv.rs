@@ -17,32 +17,15 @@
 //! cargo test --release -p bench --test engine_equiv -- --ignored
 //! ```
 
-use bench::dst::{plan_for, run_one, schedule_seed, Digest, Outcome, Worlds, ALL_PLANS, WORKLOADS};
+use bench::dst::{fingerprint, plan_for, run_one, schedule_seed, Worlds, ALL_PLANS, WORKLOADS};
 use dpa_core::DstOptions;
-
-/// Every observable bit of an [`Outcome`], in comparable form.
-fn fingerprint(o: &Outcome) -> (bool, u64, String, String, String) {
-    let digest = match &o.digest {
-        Digest::Ints(v) => format!("ints:{v:x?}"),
-        Digest::Floats(v) => {
-            let bits: Vec<u64> = v.iter().map(|f| f.to_bits()).collect();
-            format!("floats:{bits:x?}")
-        }
-    };
-    (
-        o.completed,
-        o.dropped,
-        digest,
-        format!("{:?}", o.snaps),
-        o.stalls.clone(),
-    )
-}
 
 fn opts(plan: &str, seed: u64, threads: usize) -> DstOptions {
     DstOptions {
         schedule_seed: Some(schedule_seed(seed)),
         faults: plan_for(plan, seed),
         threads,
+        ..DstOptions::default()
     }
 }
 

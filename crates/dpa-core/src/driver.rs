@@ -8,7 +8,7 @@ use crate::proc_dpa::DpaProc;
 use crate::stripctl::StripController;
 use crate::work::PtrApp;
 use global_heap::MigrationTable;
-use sim_net::{FaultPlan, Machine, NetConfig, NodeId, RunReport, Trace};
+use sim_net::{FaultPlan, Machine, NetConfig, NodeId, QueueKind, RunReport, Trace};
 
 /// Run one phase of `app` instances (one per node) under `cfg` on a
 /// `nodes`-node machine with network `net`.
@@ -88,6 +88,12 @@ pub struct DstOptions {
     /// variable (1 when unset), so an entire sweep can be switched to the
     /// parallel engine from the outside.
     pub threads: usize,
+    /// Event-queue implementation ([`Machine::set_queue_kind`]): the
+    /// timing wheel (default) or the shadow binary heap it is
+    /// differentially tested against. Defaults to the `DPA_SIM_QUEUE`
+    /// environment variable, so a whole sweep can be flipped to the
+    /// shadow heap from the outside.
+    pub queue: QueueKind,
 }
 
 impl Default for DstOptions {
@@ -96,6 +102,7 @@ impl Default for DstOptions {
             schedule_seed: None,
             faults: FaultPlan::default(),
             threads: sim_net::env_threads(),
+            queue: sim_net::env_queue(),
         }
     }
 }
@@ -122,6 +129,7 @@ pub fn run_phase_dst<A: PtrApp>(
                 .map(|i| DpaProc::new(mk(i), nodes as usize, cfg.clone()))
                 .collect();
             let mut m = Machine::new(procs, net);
+            m.set_queue_kind(opts.queue);
             m.set_faults(opts.faults.clone());
             if let Some(seed) = opts.schedule_seed {
                 m.perturb_schedule(seed);
@@ -140,6 +148,7 @@ pub fn run_phase_dst<A: PtrApp>(
                 .map(|i| CachingProc::new(mk(i), cfg.clone()))
                 .collect();
             let mut m = Machine::new(procs, net);
+            m.set_queue_kind(opts.queue);
             m.set_faults(opts.faults.clone());
             if let Some(seed) = opts.schedule_seed {
                 m.perturb_schedule(seed);
@@ -221,6 +230,7 @@ pub fn run_phase_migrating<A: PtrApp>(
             }
         }
         let mut m = Machine::new(procs, net.clone());
+        m.set_queue_kind(opts.queue);
         m.set_faults(opts.faults.clone());
         if let Some(seed) = opts.schedule_seed {
             // Vary the perturbation per phase, deterministically.

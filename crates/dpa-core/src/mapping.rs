@@ -6,15 +6,38 @@
 //! needs object `p` is *aligned* under `p`; when `p` arrives, every thread
 //! aligned under it is released in one batch — the dynamic analogue of
 //! tiling's iteration grouping.
+//!
+//! # Layout
+//!
+//! The table is structure-of-arrays over **dense object ids**: each
+//! pointer is interned once, at its first alignment, into a `u32` id that
+//! indexes flat side tables (`ptrs`, `waiters`). The hash map is consulted
+//! only to intern/look up the id; the waiter lists themselves live in a
+//! dense slab whose per-id vectors are *retained* across release/align
+//! cycles — a pointer that aligns threads again after a release reuses its
+//! old list's capacity, so steady-state alignment never touches the
+//! allocator. [`PointerMap::release_into`] drains a list straight into the
+//! caller's run stack without allocating at all.
 
 use crate::fxmap::FxHashMap;
 use global_heap::GPtr;
 
 /// Pointer → dependent threads, with high-water-mark accounting for the
-/// paper's thread-statistics table.
+/// paper's thread-statistics table. SoA: dense-id interner + flat waiter
+/// slab.
 #[derive(Clone, Debug)]
 pub struct PointerMap<W> {
-    map: FxHashMap<GPtr, Vec<W>>,
+    /// Pointer → dense id, assigned at first alignment and stable for the
+    /// map's lifetime.
+    ids: FxHashMap<GPtr, u32>,
+    /// Dense id → pointer (the interner's inverse, for diagnostics and
+    /// id-order iteration).
+    ptrs: Vec<GPtr>,
+    /// Dense id → threads currently aligned under that pointer. Vectors
+    /// are retained (cleared, not dropped) across release cycles.
+    waiters: Vec<Vec<W>>,
+    /// Number of ids with a nonempty waiter list (= `keys()`).
+    nonempty: usize,
     live_threads: u64,
     peak_threads: u64,
     peak_keys: u64,
@@ -24,7 +47,10 @@ pub struct PointerMap<W> {
 impl<W> Default for PointerMap<W> {
     fn default() -> Self {
         PointerMap {
-            map: FxHashMap::default(),
+            ids: FxHashMap::default(),
+            ptrs: Vec::new(),
+            waiters: Vec::new(),
+            nonempty: 0,
             live_threads: 0,
             peak_threads: 0,
             peak_keys: 0,
@@ -39,6 +65,20 @@ impl<W> PointerMap<W> {
         PointerMap::default()
     }
 
+    /// Intern `ptr`, returning its dense id (assigning the next one on
+    /// first sight).
+    #[inline]
+    fn intern(&mut self, ptr: GPtr) -> u32 {
+        if let Some(&id) = self.ids.get(&ptr) {
+            return id;
+        }
+        let id = u32::try_from(self.ptrs.len()).expect("pointer-map id overflow");
+        self.ids.insert(ptr, id);
+        self.ptrs.push(ptr);
+        self.waiters.push(Vec::new());
+        id
+    }
+
     /// Align `thread` under `ptr`. Returns `true` when this is the first
     /// thread aligned under `ptr` — the caller must then ensure a request
     /// for `ptr` is (or will be) outstanding.
@@ -47,24 +87,39 @@ impl<W> PointerMap<W> {
         self.total_aligned += 1;
         self.live_threads += 1;
         self.peak_threads = self.peak_threads.max(self.live_threads);
-        let waiters = self.map.entry(ptr).or_default();
-        waiters.push(thread);
-        let first = waiters.len() == 1;
+        let id = self.intern(ptr);
+        let list = &mut self.waiters[id as usize];
+        list.push(thread);
+        let first = list.len() == 1;
         if first {
-            self.peak_keys = self.peak_keys.max(self.map.len() as u64);
+            self.nonempty += 1;
+            self.peak_keys = self.peak_keys.max(self.nonempty as u64);
         }
         first
     }
 
     /// Release every thread aligned under `ptr` (its data has arrived).
     /// Returns an empty vec if none were waiting.
+    ///
+    /// Allocates the returned vector; the hot path uses
+    /// [`release_into`](PointerMap::release_into) instead.
     pub fn release(&mut self, ptr: GPtr) -> Vec<W> {
-        match self.map.remove(&ptr) {
-            Some(v) => {
-                self.live_threads -= v.len() as u64;
-                v
+        let mut out = Vec::new();
+        self.release_into(ptr, &mut out);
+        out
+    }
+
+    /// Release every thread aligned under `ptr`, appending them (in
+    /// alignment order) to `out`. The slot's storage is retained for the
+    /// pointer's next alignment, so neither side allocates.
+    pub fn release_into(&mut self, ptr: GPtr, out: &mut Vec<W>) {
+        if let Some(&id) = self.ids.get(&ptr) {
+            let list = &mut self.waiters[id as usize];
+            if !list.is_empty() {
+                self.live_threads -= list.len() as u64;
+                self.nonempty -= 1;
+                out.append(list);
             }
-            None => Vec::new(),
         }
     }
 
@@ -75,17 +130,26 @@ impl<W> PointerMap<W> {
 
     /// Distinct pointers with waiters.
     pub fn keys(&self) -> usize {
-        self.map.len()
+        self.nonempty
     }
 
     /// `true` when no thread is waiting.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.nonempty == 0
     }
 
     /// Number of threads waiting on `ptr` right now.
     pub fn waiters(&self, ptr: GPtr) -> usize {
-        self.map.get(&ptr).map_or(0, |v| v.len())
+        match self.ids.get(&ptr) {
+            Some(&id) => self.waiters[id as usize].len(),
+            None => 0,
+        }
+    }
+
+    /// Distinct pointers ever interned (dense-id space size). Interning is
+    /// permanent: a pointer's id survives release cycles.
+    pub fn interned(&self) -> usize {
+        self.ptrs.len()
     }
 
     /// Max simultaneous aligned threads over the phase.
@@ -158,9 +222,43 @@ mod tests {
         for i in 0..500u64 {
             m.align(p(i % 17), i);
             if i % 5 == 0 {
-                released += m.release(p(i % 13)) .len() as u64;
+                released += m.release(p(i % 13)).len() as u64;
             }
         }
         assert_eq!(500, released + m.live_threads());
+    }
+
+    #[test]
+    fn ids_are_interned_once_and_reused() {
+        let mut m: PointerMap<u32> = PointerMap::new();
+        m.align(p(1), 1);
+        m.align(p(2), 2);
+        assert_eq!(m.interned(), 2);
+        m.release(p(1));
+        assert_eq!(m.interned(), 2, "release keeps the id");
+        m.align(p(1), 3);
+        assert_eq!(m.interned(), 2, "re-align reuses the id");
+        assert_eq!(m.keys(), 2);
+        m.align(p(9), 4);
+        assert_eq!(m.interned(), 3);
+    }
+
+    #[test]
+    fn release_into_appends_and_keeps_capacity() {
+        let mut m: PointerMap<u32> = PointerMap::new();
+        for i in 0..16 {
+            m.align(p(7), i);
+        }
+        let mut stack = vec![999u32];
+        m.release_into(p(7), &mut stack);
+        assert_eq!(stack.len(), 17);
+        assert_eq!(stack[0], 999, "appends after existing entries");
+        assert_eq!(&stack[1..4], &[0, 1, 2]);
+        assert!(m.is_empty());
+        assert_eq!(m.live_threads(), 0);
+        // The slot's storage survives for the next alignment burst.
+        m.align(p(7), 1);
+        assert_eq!(m.waiters(p(7)), 1);
+        assert_eq!(m.keys(), 1);
     }
 }

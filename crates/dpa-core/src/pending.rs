@@ -5,14 +5,33 @@
 //! suppresses duplicate requests (many threads aligned under one pointer
 //! cause exactly one fetch), and the peak size is the "max outstanding
 //! requests" column of the paper's statistics table.
+//!
+//! # Layout
+//!
+//! Like the M mapping, the table is structure-of-arrays over dense object
+//! ids: pointers are interned once (at their first request) into a `u32`
+//! id indexing flat `ptrs`/`present` side tables. Insert/complete/contains
+//! are one Fx-hash probe plus a flag flip — no tombstone churn — and
+//! [`iter`](PendingRequests::iter) walks the dense side table in id
+//! (first-request) order, which is deterministic for a fixed request
+//! history, unlike a std `HashSet`'s per-process seeded order.
 
+use crate::fxmap::FxHashMap;
 use global_heap::GPtr;
-use std::collections::HashSet;
 
-/// Outstanding remote requests for one node.
+/// Outstanding remote requests for one node. SoA: dense-id interner + flat
+/// presence flags.
 #[derive(Clone, Debug, Default)]
 pub struct PendingRequests {
-    set: HashSet<GPtr>,
+    /// Pointer → dense id, assigned at first request and stable for the
+    /// table's lifetime.
+    ids: FxHashMap<GPtr, u32>,
+    /// Dense id → pointer (interner inverse; iterated for reports).
+    ptrs: Vec<GPtr>,
+    /// Dense id → currently outstanding?
+    present: Vec<bool>,
+    /// Number of `true` flags (= `len()`).
+    live: usize,
     peak: u64,
     total: u64,
 }
@@ -27,48 +46,84 @@ impl PendingRequests {
     /// (the duplicate must not generate a second message).
     pub fn insert(&mut self, ptr: GPtr) -> bool {
         debug_assert!(!ptr.is_null());
-        let fresh = self.set.insert(ptr);
-        if fresh {
-            self.total += 1;
-            self.peak = self.peak.max(self.set.len() as u64);
-        }
-        fresh
+        let id = match self.ids.get(&ptr) {
+            Some(&id) => {
+                if self.present[id as usize] {
+                    return false;
+                }
+                id
+            }
+            None => {
+                let id = u32::try_from(self.ptrs.len()).expect("pending-table id overflow");
+                self.ids.insert(ptr, id);
+                self.ptrs.push(ptr);
+                self.present.push(false);
+                id
+            }
+        };
+        self.present[id as usize] = true;
+        self.live += 1;
+        self.total += 1;
+        self.peak = self.peak.max(self.live as u64);
+        true
     }
 
     /// Clear `ptr` on reply arrival. Returns `false` for an unexpected
     /// reply (a protocol bug upstream or duplicated delivery).
     pub fn complete(&mut self, ptr: GPtr) -> bool {
-        self.set.remove(&ptr)
+        match self.ids.get(&ptr) {
+            Some(&id) if self.present[id as usize] => {
+                self.present[id as usize] = false;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// `true` if a request for `ptr` is in flight (or buffered).
     pub fn contains(&self, ptr: GPtr) -> bool {
-        self.set.contains(&ptr)
+        match self.ids.get(&ptr) {
+            Some(&id) => self.present[id as usize],
+            None => false,
+        }
     }
 
-    /// Iterate over the outstanding pointers (arbitrary order). Used by the
-    /// stall reporter to name exactly which fetches never completed.
+    /// Iterate over the outstanding pointers in dense-id (first-request)
+    /// order — deterministic for a fixed request history, independent of
+    /// any hash seed. Used by the stall reporter to name exactly which
+    /// fetches never completed.
     pub fn iter(&self) -> impl Iterator<Item = &GPtr> {
-        self.set.iter()
+        self.ptrs
+            .iter()
+            .zip(self.present.iter())
+            .filter_map(|(p, &live)| live.then_some(p))
     }
 
-    /// The `n` smallest outstanding pointers, rendered. Sorted so that
-    /// snapshots and stall reports are byte-identical across runs (the
-    /// backing set's iteration order is seeded per-process).
+    /// Distinct pointers ever requested (dense-id space size). Interning
+    /// is permanent: an id survives completion.
+    pub fn interned(&self) -> usize {
+        self.ptrs.len()
+    }
+
+    /// The `n` smallest outstanding pointers, rendered. Sorted by pointer
+    /// value so that snapshots and stall reports are byte-identical for
+    /// the same *set* of outstanding requests, regardless of the order in
+    /// which they were issued.
     pub fn sorted_sample(&self, n: usize) -> Vec<String> {
-        let mut all: Vec<&GPtr> = self.set.iter().collect();
+        let mut all: Vec<&GPtr> = self.iter().collect();
         all.sort_unstable();
         all.into_iter().take(n).map(|p| p.to_string()).collect()
     }
 
     /// Requests currently outstanding.
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.live
     }
 
     /// `true` when nothing is outstanding.
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.live == 0
     }
 
     /// Max simultaneous outstanding requests over the phase.
@@ -76,7 +131,8 @@ impl PendingRequests {
         self.peak
     }
 
-    /// Total distinct requests issued over the phase.
+    /// Total requests issued over the phase (re-requesting a completed
+    /// pointer counts again; simultaneous duplicates do not).
     pub fn total(&self) -> u64 {
         self.total
     }
@@ -132,5 +188,53 @@ mod tests {
         assert_eq!(d.peak(), 3);
         assert_eq!(d.len(), 3);
         assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn reinsert_after_complete_is_fresh() {
+        let mut d = PendingRequests::new();
+        assert!(d.insert(p(1)));
+        assert!(d.complete(p(1)));
+        assert!(d.insert(p(1)), "a completed pointer may be requested again");
+        assert_eq!(d.total(), 2, "re-request counts as a new fetch");
+        assert_eq!(d.interned(), 1, "but the dense id is reused");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_dense_id_order() {
+        let mut d = PendingRequests::new();
+        for i in [9, 3, 7] {
+            d.insert(p(i));
+        }
+        d.complete(p(3));
+        let seen: Vec<GPtr> = d.iter().copied().collect();
+        assert_eq!(seen, vec![p(9), p(7)], "first-request order, minus completed");
+    }
+
+    /// Regression for the latent ordering trap: two tables holding the same
+    /// *set* of outstanding requests must render identical samples and
+    /// (sorted) iterations even when the requests were issued in different
+    /// orders. A std `HashSet` backing made this hold only by luck of the
+    /// per-process seed.
+    #[test]
+    fn snapshot_is_insertion_order_independent() {
+        let mut a = PendingRequests::new();
+        let mut b = PendingRequests::new();
+        for i in [5, 1, 9, 4, 8] {
+            a.insert(p(i));
+        }
+        for i in [8, 4, 9, 1, 5] {
+            b.insert(p(i));
+        }
+        a.complete(p(4));
+        b.complete(p(4));
+        assert_eq!(a.sorted_sample(4), b.sorted_sample(4));
+        assert_eq!(a.sorted_sample(16), b.sorted_sample(16));
+        let mut ia: Vec<GPtr> = a.iter().copied().collect();
+        let mut ib: Vec<GPtr> = b.iter().copied().collect();
+        ia.sort_unstable();
+        ib.sort_unstable();
+        assert_eq!(ia, ib);
     }
 }

@@ -71,8 +71,8 @@ use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
 use fastmsg::{ByteCoalescer, Coalescer};
 use global_heap::{ArrivalSet, GPtr, MigrationTable};
 use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
-use crate::fxmap::FxHashMap;
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::fxmap::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 
 /// Wire bytes of one `(pointer, f64)` reduction entry.
 const UPDATE_ENTRY_BYTES: u64 = GPtr::WIRE_BYTES as u64 + 8;
@@ -113,12 +113,12 @@ pub struct DpaProc<A: PtrApp> {
     mig: Option<MigrationTable>,
     /// Requester-side affinity deltas sampled at align time, awaiting the
     /// next epoch report (one count per aligned thread).
-    aff_pending: HashMap<GPtr, u32>,
+    aff_pending: FxHashMap<GPtr, u32>,
     /// Owner-side migration shipment batching (per new home).
     mig_coal: ByteCoalescer<(GPtr, u32)>,
     /// Forwarded requests that outran their `Migrate`: pointer → waiting
     /// requesters, served the moment adoption lands.
-    orphans: HashMap<GPtr, Vec<u16>>,
+    orphans: FxHashMap<GPtr, Vec<u16>>,
     /// Next migration-epoch wake in simulated ns (`None` when disabled or
     /// after this node finished its iterations).
     next_epoch_at: Option<u64>,
@@ -126,8 +126,8 @@ pub struct DpaProc<A: PtrApp> {
     /// bounds what *this phase* ships rather than the whole run.
     mig_out_at_start: u64,
     /// `(sender, seq)` dedup for Affinity / Migrate messages.
-    seen_affinity: HashSet<(u16, u64)>,
-    seen_migrates: HashSet<(u16, u64)>,
+    seen_affinity: FxHashSet<(u16, u64)>,
+    seen_migrates: FxHashSet<(u16, u64)>,
     /// Objects installed (a pending request completed with data — by a
     /// reply or by an adoption that doubled as one). Equals
     /// `arrived.total_inserts()` whenever migration is off.
@@ -173,7 +173,7 @@ pub struct DpaProc<A: PtrApp> {
     /// A set rather than a count: with migration an adoption can complete
     /// a pending request whose wire reply (possibly forwarded) arrives
     /// later, and set removal stays exact where a counter would drift.
-    in_flight: HashSet<GPtr>,
+    in_flight: FxHashSet<GPtr>,
     peak_in_flight: u64,
     request_msgs: u64,
     reply_msgs: u64,
@@ -192,7 +192,10 @@ pub struct DpaProc<A: PtrApp> {
     reply_entries_sent: u64,
     /// `(sender, seq)` pairs of Update messages already applied; makes
     /// reduction application idempotent under duplicated delivery.
-    seen_updates: HashSet<(u16, u64)>,
+    seen_updates: FxHashSet<(u16, u64)>,
+    /// Recycled emission buffer threaded through every [`WorkEnv`] this
+    /// node builds, so the run-work hot loop emits without allocating.
+    emit_buf: Vec<Emit<A::Work>>,
     wake_scheduled: bool,
     done: bool,
 }
@@ -247,13 +250,13 @@ impl<A: PtrApp> DpaProc<A> {
             reply_coal,
             flush_wake_at: None,
             mig,
-            aff_pending: HashMap::new(),
+            aff_pending: FxHashMap::default(),
             mig_coal,
-            orphans: HashMap::new(),
+            orphans: FxHashMap::default(),
             next_epoch_at: None,
             mig_out_at_start: 0,
-            seen_affinity: HashSet::new(),
-            seen_migrates: HashSet::new(),
+            seen_affinity: FxHashSet::default(),
+            seen_migrates: FxHashSet::default(),
             installs: 0,
             affinity_msgs: 0,
             migrate_msgs: 0,
@@ -271,7 +274,7 @@ impl<A: PtrApp> DpaProc<A> {
             completed_iters: 0,
             threads_created: 0,
             peak_stack: 0,
-            in_flight: HashSet::new(),
+            in_flight: FxHashSet::default(),
             peak_in_flight: 0,
             request_msgs: 0,
             reply_msgs: 0,
@@ -282,7 +285,8 @@ impl<A: PtrApp> DpaProc<A> {
             update_entries_sent: 0,
             reply_entries_pushed: 0,
             reply_entries_sent: 0,
-            seen_updates: HashSet::new(),
+            seen_updates: FxHashSet::default(),
+            emit_buf: Vec::new(),
             wake_scheduled: false,
             done: false,
         })
@@ -439,17 +443,18 @@ impl<A: PtrApp> DpaProc<A> {
     }
 
     /// Route the emissions of one finished work/creation, tagging them
-    /// with `iter`.
+    /// with `iter`. Drains `emits` in place so the caller can recycle the
+    /// buffer's capacity for the next work item.
     fn route_emissions(
         &mut self,
         ctx: &mut Ctx<'_, DpaMsg>,
         iter: u32,
-        emits: Vec<Emit<A::Work>>,
+        emits: &mut Vec<Emit<A::Work>>,
     ) {
         let me = ctx.me().0;
         // Reverse so that, popped from the stack, work runs in emission
         // order (depth-first).
-        for e in emits.into_iter().rev() {
+        for e in emits.drain(..).rev() {
             if let Emit::Accum(ptr, value) = e {
                 // Reductions are not threads: apply locally or batch for
                 // the owner; no alignment, no iteration accounting.
@@ -552,6 +557,16 @@ impl<A: PtrApp> DpaProc<A> {
     /// Flush every buffered reply/update destination whose oldest entry
     /// has aged past the deadline, then re-arm the wake for what remains.
     fn flush_due(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        // Fast path for the common wake: nothing buffered anywhere and no
+        // wake armed means every branch below is a no-op. Self-wake poll
+        // slices land here once per event on the hot path.
+        if self.flush_wake_at.is_none()
+            && self.reply_coal.is_empty()
+            && self.upd_coal.is_empty()
+            && self.mig_coal.is_empty()
+        {
+            return;
+        }
         let now = ctx.now().as_ns();
         if self.flush_wake_at.is_some_and(|t| t <= now) {
             self.flush_wake_at = None;
@@ -806,10 +821,12 @@ impl<A: PtrApp> DpaProc<A> {
                 Avail::Arrived(&self.arrived),
                 self.mig.as_ref(),
             );
+            env.reuse_buffer(std::mem::take(&mut self.emit_buf));
             self.app.start_iteration(iter as usize, &mut env);
-            let (ns, emits) = env.finish();
+            let (ns, mut emits) = env.finish();
             ctx.charge_local(ns);
-            self.route_emissions(ctx, iter, emits);
+            self.route_emissions(ctx, iter, &mut emits);
+            self.emit_buf = emits;
             // An iteration that spawned no threads (nothing, or only
             // reductions) is already complete.
             if !self.iter_live.contains_key(&iter) {
@@ -868,8 +885,7 @@ impl<A: PtrApp> DpaProc<A> {
             let was_pending = self.pending.complete(ptr);
             debug_assert!(was_pending, "unsolicited reply for {ptr}");
             self.installs += 1;
-            let released = self.map.release(ptr);
-            self.stack.extend(released);
+            self.map.release_into(ptr, &mut self.stack);
         }
         self.peak_stack = self.peak_stack.max(self.stack.len() as u64);
     }
@@ -889,10 +905,12 @@ impl<A: PtrApp> DpaProc<A> {
                     Avail::Arrived(&self.arrived),
                     self.mig.as_ref(),
                 );
+                env.reuse_buffer(std::mem::take(&mut self.emit_buf));
                 self.app.run_work(t.work, &mut env);
-                let (ns, emits) = env.finish();
+                let (ns, mut emits) = env.finish();
                 ctx.charge_local(ns);
-                self.route_emissions(ctx, t.iter, emits);
+                self.route_emissions(ctx, t.iter, &mut emits);
+                self.emit_buf = emits;
                 self.finish_one_work(t.iter);
                 self.admit(ctx);
                 if ctx.now().since(slice_start) >= slice {
@@ -1083,8 +1101,7 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                         let was_pending = self.pending.complete(ptr);
                         debug_assert!(was_pending);
                         self.installs += 1;
-                        let released = self.map.release(ptr);
-                        self.stack.extend(released);
+                        self.map.release_into(ptr, &mut self.stack);
                     } else {
                         self.arrived.preload(ptr, size);
                     }

@@ -88,6 +88,14 @@ impl<'a, W> WorkEnv<'a, W> {
         }
     }
 
+    /// Adopt a recycled (empty, capacity-bearing) emission buffer so a
+    /// steady-state work item emits without touching the allocator. The
+    /// driver threads one scratch buffer through every env it builds.
+    pub(crate) fn reuse_buffer(&mut self, buf: Vec<Emit<W>>) {
+        debug_assert!(buf.is_empty(), "recycled emit buffer must be drained");
+        self.emits = buf;
+    }
+
     /// The node this work runs on.
     #[inline]
     pub fn me(&self) -> u16 {

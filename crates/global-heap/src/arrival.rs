@@ -14,15 +14,17 @@
 //! [`invalidate`](ArrivalSet::invalidate) a copy so the next dereference
 //! refetches from the object's new home instead of reading stale storage.
 
+use crate::fxhash::FxHashMap;
 use crate::gptr::GPtr;
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
 /// Tracks remote objects that have arrived at one node during a phase.
 #[derive(Clone, Debug, Default)]
 pub struct ArrivalSet {
-    /// `ptr -> payload bytes held for it`.
-    set: HashMap<GPtr, u32>,
+    /// `ptr -> payload bytes held for it`. Fx-hashed: [`contains`]
+    /// (ArrivalSet::contains) runs once per `Demand` emission, squarely on
+    /// the simulation hot path.
+    set: FxHashMap<GPtr, u32>,
     bytes: u64,
     peak_bytes: u64,
     inserts: u64,

@@ -10,9 +10,10 @@
 //! caching to "minimized hashing and better cache performance because of
 //! access hoisting"; the cost hooks here expose exactly those knobs.
 
+use crate::fxhash::FxHashMap;
 use crate::gptr::GPtr;
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Counters the caching baseline reports per node.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,8 +58,11 @@ pub enum EvictPolicy {
 /// steps).
 #[derive(Clone, Debug)]
 pub struct SoftCache {
-    /// `ptr -> (size, last-use tick)`.
-    map: HashMap<GPtr, (u32, u64)>,
+    /// `ptr -> (size, last-use tick)`. Fx-hashed: the caching baseline
+    /// probes this on *every* global access. LRU eviction stays
+    /// deterministic because ticks are unique, so the stalest entry is
+    /// unique regardless of iteration order.
+    map: FxHashMap<GPtr, (u32, u64)>,
     fifo: VecDeque<GPtr>,
     capacity: Option<usize>,
     policy: EvictPolicy,
@@ -78,7 +82,7 @@ impl SoftCache {
     /// Create a cache with an explicit eviction policy.
     pub fn with_policy(capacity: Option<usize>, policy: EvictPolicy) -> SoftCache {
         SoftCache {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             fifo: VecDeque::new(),
             capacity,
             policy,

@@ -29,10 +29,12 @@
 
 pub mod arrival;
 pub mod cache;
+pub mod fxhash;
 pub mod gptr;
 pub mod migrate;
 
 pub use arrival::ArrivalSet;
 pub use cache::{CacheStats, EvictPolicy, SoftCache};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use gptr::{ClassTable, GPtr, ObjClass};
 pub use migrate::{Migration, MigrationTable};

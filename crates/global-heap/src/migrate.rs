@@ -24,22 +24,23 @@
 //! calls — which is what lets migration runs stay replayable under the DST
 //! harness.
 
+use crate::fxhash::FxHashMap;
 use crate::gptr::GPtr;
-use std::collections::HashMap;
 
 /// Per-node migration state: deviations from the birth-home mapping plus
-/// the affinity counts that drive the migration policy.
+/// the affinity counts that drive the migration policy. All tables are
+/// Fx-hashed — `home_of` runs once per request under migration.
 #[derive(Clone, Debug, Default)]
 pub struct MigrationTable {
     /// Objects this node has adopted and now serves: `ptr -> payload size`.
-    adopted: HashMap<GPtr, u32>,
+    adopted: FxHashMap<GPtr, u32>,
     /// Forwarding stubs for objects born here that have moved: `ptr -> new
     /// home`.
-    departed: HashMap<GPtr, u16>,
+    departed: FxHashMap<GPtr, u16>,
     /// Learned re-homings of remote objects: `ptr -> observed home`.
-    overrides: HashMap<GPtr, u16>,
+    overrides: FxHashMap<GPtr, u16>,
     /// Owner-side affinity: `(ptr, requester) -> remote dereference count`.
-    affinity: HashMap<(GPtr, u16), u64>,
+    affinity: FxHashMap<(GPtr, u16), u64>,
     migrations_in: u64,
     migrations_out: u64,
     overrides_learned: u64,
@@ -196,7 +197,7 @@ impl MigrationTable {
         if budget == 0 || threshold == 0 {
             return Vec::new();
         }
-        let mut per_ptr: HashMap<GPtr, (u64, u16)> = HashMap::new();
+        let mut per_ptr: FxHashMap<GPtr, (u64, u16)> = FxHashMap::default();
         for (&(ptr, from), &count) in &self.affinity {
             let entry = per_ptr.entry(ptr).or_insert((0, u16::MAX));
             if count > entry.0 || (count == entry.0 && from < entry.1) {

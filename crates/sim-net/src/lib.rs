@@ -18,6 +18,7 @@
 //!
 //! * [`time`] — integer-nanosecond clocks.
 //! * [`network`] — the LogGP cost model ([`network::NetConfig`]).
+//! * [`wheel`] — the calendar-queue event queue (plus the shadow heap).
 //! * [`machine`] — event queue, per-node clocks, [`machine::Proc`] behaviors.
 //! * [`stats`] — local / overhead / idle breakdown per node, user counters.
 //! * [`rng`] — dependency-free deterministic RNG for fault schedules.
@@ -63,9 +64,11 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use fault::{FaultAction, FaultInjector, FaultPlan, NodePause};
 pub use machine::{env_threads, Ctx, Machine, NodeId, Proc, RunReport, StallInfo};
+pub use wheel::{env_queue, EventKey, QueueKind, TimingWheel, WheelItem};
 pub use network::{MsgSize, NetConfig};
 pub use rng::Rng;
 pub use stats::{ChargeKind, NodeStats, RunStats};

@@ -33,6 +33,7 @@ use crate::network::{MsgSize, NetConfig};
 use crate::stats::{ChargeKind, NodeStats, RunStats};
 use crate::time::{Dur, Time};
 use crate::trace::Trace;
+use crate::wheel::{env_queue, EventKey, QueueKind, TimingWheel, WheelItem};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -133,8 +134,19 @@ struct Event<M> {
 }
 
 impl<M> Event<M> {
-    fn key(&self) -> Reverse<(u64, u64, u16, u64)> {
-        Reverse((self.time.0, self.tie, self.src.0, self.seq))
+    fn key(&self) -> EventKey {
+        EventKey {
+            time: self.time.0,
+            tie: self.tie,
+            src: self.src.0,
+            seq: self.seq,
+        }
+    }
+}
+
+impl<M> WheelItem for Event<M> {
+    fn key(&self) -> EventKey {
+        Event::key(self)
     }
 }
 
@@ -176,7 +188,78 @@ impl<M> PartialOrd for Event<M> {
 }
 impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
+        // Reversed so the max-heap shadow queue pops the minimum key.
+        Reverse(self.key()).cmp(&Reverse(other.key()))
+    }
+}
+
+/// The machine's event queue: the production timing wheel, or the original
+/// binary heap kept as a differential-testing shadow (both always compiled;
+/// selection is a run-time [`QueueKind`]). The two yield identical pop
+/// orders — `queue_equiv` and the wheel proptests enforce it.
+enum EventQueue<M> {
+    Wheel(TimingWheel<Event<M>>),
+    Heap(BinaryHeap<Event<M>>),
+}
+
+impl<M> EventQueue<M> {
+    fn new(kind: QueueKind) -> EventQueue<M> {
+        match kind {
+            QueueKind::Wheel => EventQueue::Wheel(TimingWheel::new()),
+            QueueKind::ShadowHeap => EventQueue::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn kind(&self) -> QueueKind {
+        match self {
+            EventQueue::Wheel(_) => QueueKind::Wheel,
+            EventQueue::Heap(_) => QueueKind::ShadowHeap,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event<M>) {
+        match self {
+            EventQueue::Wheel(w) => w.push(ev),
+            EventQueue::Heap(h) => h.push(ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event<M>> {
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Heap(h) => h.pop(),
+        }
+    }
+
+    /// Time of the earliest pending event (`&mut` because the wheel
+    /// repositions lazily on peek).
+    #[inline]
+    fn peek_time(&mut self) -> Option<u64> {
+        match self {
+            EventQueue::Wheel(w) => w.peek_key().map(|k| k.time),
+            EventQueue::Heap(h) => h.peek().map(|e| e.time.0),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Wheel(w) => w.is_empty(),
+            EventQueue::Heap(h) => h.is_empty(),
+        }
+    }
+
+    /// Visit every queued event in unspecified order (diagnostics).
+    fn for_each(&self, mut f: impl FnMut(&Event<M>)) {
+        match self {
+            EventQueue::Wheel(w) => w.for_each(f),
+            EventQueue::Heap(h) => {
+                for ev in h.iter() {
+                    f(ev);
+                }
+            }
+        }
     }
 }
 
@@ -512,7 +595,7 @@ pub struct Machine<P: Proc> {
     net: NetConfig,
     clocks: Vec<Time>,
     stats: Vec<NodeStats>,
-    queue: BinaryHeap<Event<P::Msg>>,
+    queue: EventQueue<P::Msg>,
     courier: Courier,
     trace: Option<Trace>,
     /// Hard cap on processed events; when hit, the run stops and reports a
@@ -535,7 +618,7 @@ impl<P: Proc> Machine<P> {
             net,
             clocks: vec![Time::ZERO; n],
             stats: vec![NodeStats::default(); n],
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(env_queue()),
             courier: Courier::new(n, plan),
             trace: None,
             max_events: u64::MAX,
@@ -545,6 +628,21 @@ impl<P: Proc> Machine<P> {
     /// Install a fault plan (replaces any legacy `drop_every` mapping).
     pub fn set_faults(&mut self, plan: FaultPlan) {
         self.courier.faults = FaultInjector::new(plan);
+    }
+
+    /// Select the event-queue implementation (wheel vs shadow heap). The
+    /// default comes from [`env_queue`]; differential tests call this to
+    /// pin each run's queue explicitly. Must be called before `run`.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        debug_assert!(self.queue.is_empty(), "set_queue_kind on a started machine");
+        if self.queue.kind() != kind {
+            self.queue = EventQueue::new(kind);
+        }
+    }
+
+    /// The event-queue implementation this machine runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// Enable seeded schedule perturbation: events with equal timestamps
@@ -707,9 +805,7 @@ where
 
         let mut pending = vec![0u64; n];
         if budget_exhausted {
-            for ev in self.queue.iter() {
-                pending[ev.dst.index()] += 1;
-            }
+            self.queue.for_each(|ev| pending[ev.dst.index()] += 1);
         }
         self.finalize(events_processed, budget_exhausted, &pending)
     }
@@ -790,7 +886,7 @@ struct Shard<P: Proc> {
     procs: Vec<P>,
     clocks: Vec<Time>,
     stats: Vec<NodeStats>,
-    queues: Vec<BinaryHeap<Event<P::Msg>>>,
+    queues: Vec<EventQueue<P::Msg>>,
     courier: Courier,
     events: u64,
 }
@@ -803,7 +899,7 @@ fn route_sharded<M: MsgSize + Clone>(
     out: &mut Vec<PendingSend<M>>,
     s: usize,
     nshards: usize,
-    queues: &mut [BinaryHeap<Event<M>>],
+    queues: &mut [EventQueue<M>],
     outgoing: &mut [Vec<Event<M>>],
 ) {
     courier.route(jitter_ns, out, |ev| {
@@ -887,8 +983,8 @@ fn run_shard<P: Proc>(
         }
         let local_min = shard
             .queues
-            .iter()
-            .filter_map(|q| q.peek().map(|e| e.time.0))
+            .iter_mut()
+            .filter_map(|q| q.peek_time())
             .min()
             .unwrap_or(u64::MAX);
         mins[s].store(local_min, Ordering::SeqCst);
@@ -910,7 +1006,7 @@ fn run_shard<P: Proc>(
         // here too, in key order; any event for a different node lands at
         // `≥ time + lookahead ≥ horizon` and waits for the next window.
         for j in 0..local {
-            while shard.queues[j].peek().is_some_and(|e| e.time.0 < horizon) {
+            while shard.queues[j].peek_time().is_some_and(|t| t < horizon) {
                 let ev = shard.queues[j].pop().expect("peeked event");
                 shard.events += 1;
                 deliver_one(
@@ -1000,12 +1096,13 @@ where
                 events: 0,
             })
             .collect();
+        let queue_kind = self.queue.kind();
         for (i, p) in self.procs.drain(..).enumerate() {
             let sh = &mut shards[i % nshards];
             sh.procs.push(p);
             sh.clocks.push(Time::ZERO);
             sh.stats.push(NodeStats::default());
-            sh.queues.push(BinaryHeap::new());
+            sh.queues.push(EventQueue::new(queue_kind));
         }
 
         let inboxes: Vec<Mutex<Vec<Event<P::Msg>>>> =
@@ -1511,6 +1608,57 @@ mod tests {
         let want = all_to_all(3).run();
         let got = all_to_all(3).run_parallel(16);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shadow_heap_bit_identical_to_wheel() {
+        // Same machine, both queue implementations, with ties, jitter,
+        // faults, and schedule perturbation in play: reports and app state
+        // must match exactly.
+        let build = |kind: QueueKind, seed: u64| {
+            let mut m = all_to_all(7);
+            m.net.jitter_ns = 3_000;
+            m.set_faults(FaultPlan {
+                seed,
+                dup_p: 0.25,
+                delay_p: 0.25,
+                delay_max_ns: 40_000,
+                ..FaultPlan::default()
+            });
+            m.perturb_schedule(seed);
+            m.set_queue_kind(kind);
+            m
+        };
+        for seed in 0..4 {
+            let mut a = build(QueueKind::Wheel, seed);
+            let mut b = build(QueueKind::ShadowHeap, seed);
+            assert_eq!(a.run(), b.run(), "queues diverged at seed {seed}");
+            assert_eq!(checksums(&a), checksums(&b));
+        }
+    }
+
+    #[test]
+    fn pause_fault_exercises_wheel_overflow() {
+        // A multi-millisecond pause pushes deliveries far beyond the
+        // wheel's in-ring horizon: the overflow path must reproduce the
+        // shadow heap exactly.
+        let build = |kind: QueueKind| {
+            let mut m = pingpong_machine(3, NetConfig::default());
+            m.set_faults(FaultPlan {
+                pauses: vec![crate::fault::NodePause {
+                    node: 1,
+                    from_ns: 0,
+                    until_ns: 50_000_000,
+                }],
+                ..FaultPlan::default()
+            });
+            m.set_queue_kind(kind);
+            m
+        };
+        let a = build(QueueKind::Wheel).run();
+        let b = build(QueueKind::ShadowHeap).run();
+        assert_eq!(a, b);
+        assert!(a.completed && a.makespan().as_ns() >= 50_000_000);
     }
 
     #[test]

@@ -9,10 +9,24 @@ use dpa::nbody::body::direct_accel;
 use dpa::nbody::distrib::uniform_cube;
 use dpa::nbody::octree::Octree;
 use dpa::runtime::synth::{SynthApp, SynthParams, SynthWorld};
-use dpa::runtime::{check_completed, run_phase, run_phase_dst, DpaConfig, DstOptions, PointerMap};
-use dpa::sim_net::NetConfig;
+use dpa::runtime::{
+    check_completed, run_phase, run_phase_dst, DpaConfig, DstOptions, PendingRequests, PointerMap,
+};
+use dpa::sim_net::{EventKey, NetConfig, TimingWheel, WheelItem};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Minimal wheel payload for the queue-model property: the key is the
+/// whole item.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Keyed(EventKey);
+
+impl WheelItem for Keyed {
+    fn key(&self) -> EventKey {
+        self.0
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -185,6 +199,120 @@ proptest! {
             prev_peak_keys = m.peak_keys();
             prop_assert_eq!(m.total_aligned(), aligned_total);
         }
+    }
+
+    /// The timing wheel is observationally equal to a binary heap ordered
+    /// by the full `(time, tie, src, seq)` event key, under arbitrary
+    /// interleavings of near-monotone pushes, pops, and peeks — including
+    /// far-future spikes that must round-trip through the overflow list.
+    /// This is the model behind the simulator's queue swap: `peek_key`
+    /// after every op, full-order equality on the final drain.
+    #[test]
+    fn timing_wheel_matches_heap_model(
+        seed in any::<u64>(),
+        ops in 1usize..600,
+        spike_p in 0.0f64..0.2,
+        pop_p in 0.1f64..0.6,
+    ) {
+        let mut rng = dpa::sim_net::Rng::new(seed);
+        let mut wheel: TimingWheel<Keyed> = TimingWheel::new();
+        let mut heap: BinaryHeap<Reverse<EventKey>> = BinaryHeap::new();
+        let mut t = 0u64;
+        let mut seq = 0u64;
+        for _ in 0..ops {
+            if rng.chance(pop_p) {
+                let got = wheel.pop().map(|i| i.0);
+                let want = heap.pop().map(|Reverse(k)| k);
+                prop_assert_eq!(got, want, "pop order diverged from the heap model");
+            } else {
+                // Near-monotone base time, as the simulator produces, with
+                // occasional far-future spikes (pause wakeups, deadline
+                // wakes) that land past the wheel's ring window.
+                t += rng.below(5_000);
+                let time = if rng.chance(spike_p) {
+                    t + 5_000_000 + rng.below(100_000_000)
+                } else {
+                    t
+                };
+                // Unique seq per push mirrors the machine's per-source
+                // sequence numbers: full keys never tie.
+                let key = EventKey {
+                    time,
+                    tie: rng.below(1 << 32),
+                    src: rng.below(16) as u16,
+                    seq,
+                };
+                seq += 1;
+                wheel.push(Keyed(key));
+                heap.push(Reverse(key));
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_key(), heap.peek().map(|Reverse(k)| *k));
+        }
+        while let Some(i) = wheel.pop() {
+            prop_assert_eq!(Some(i.0), heap.pop().map(|Reverse(k)| k));
+        }
+        prop_assert!(heap.pop().is_none(), "wheel drained before the model");
+    }
+
+    /// The SoA pending-request table matches a set model under arbitrary
+    /// insert/complete interleavings, its dense-id interner never forgets
+    /// or re-assigns an id, and its snapshots (`sorted_sample`, sorted
+    /// `iter`) depend only on the outstanding *set* — not on the order the
+    /// requests were issued in.
+    #[test]
+    fn pending_requests_match_set_model(
+        seed in any::<u64>(),
+        ops in 1usize..400,
+        key_space in 1u64..24,
+        complete_p in 0.05f64..0.6,
+    ) {
+        let mut rng = dpa::sim_net::Rng::new(seed);
+        let mut d = PendingRequests::new();
+        let mut model: HashSet<GPtr> = HashSet::new();
+        let mut ever: Vec<GPtr> = Vec::new(); // first-request order
+        let mut total = 0u64;
+        let mut peak = 0u64;
+        for _ in 0..ops {
+            let ptr = GPtr::new(rng.below(4) as u16, ObjClass(0), rng.below(key_space));
+            if rng.chance(complete_p) {
+                prop_assert_eq!(d.complete(ptr), model.remove(&ptr));
+            } else {
+                let fresh = model.insert(ptr);
+                prop_assert_eq!(d.insert(ptr), fresh, "duplicate suppression diverged");
+                if fresh {
+                    total += 1;
+                    if !ever.contains(&ptr) {
+                        ever.push(ptr);
+                    }
+                }
+                peak = peak.max(model.len() as u64);
+            }
+            prop_assert_eq!(d.len(), model.len());
+            prop_assert_eq!(d.is_empty(), model.is_empty());
+            for p in &model {
+                prop_assert!(d.contains(*p));
+            }
+        }
+        prop_assert_eq!(d.total(), total);
+        prop_assert_eq!(d.peak(), peak);
+        // Dense-id interning: every pointer ever requested has a permanent
+        // id, and iteration yields exactly the outstanding set in
+        // first-request order.
+        prop_assert_eq!(d.interned(), ever.len());
+        let got: Vec<GPtr> = d.iter().copied().collect();
+        let want: Vec<GPtr> = ever.iter().copied().filter(|p| model.contains(p)).collect();
+        prop_assert_eq!(got, want, "iter must follow first-request (dense-id) order");
+        // Snapshot order-independence: rebuild the same outstanding set in
+        // sorted (≠ historical) order; samples must be byte-identical.
+        let mut rebuilt = PendingRequests::new();
+        let mut sorted: Vec<GPtr> = model.iter().copied().collect();
+        sorted.sort_unstable();
+        for p in &sorted {
+            rebuilt.insert(*p);
+        }
+        prop_assert_eq!(rebuilt.sorted_sample(4), d.sorted_sample(4));
+        prop_assert_eq!(rebuilt.sorted_sample(usize::MAX), d.sorted_sample(usize::MAX));
     }
 
     /// Global pointers round-trip through their packed representation.
