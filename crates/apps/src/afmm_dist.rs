@@ -121,7 +121,10 @@ impl AfmmWorld {
             let c = count[g as usize] as u64;
             let mid = 2 * cum + c;
             let owner = ((mid * nodes as u64) / (2 * total as u64)).min(nodes as u64 - 1);
-            grain_owner.insert(g, owner as u16);
+            grain_owner.insert(
+                g,
+                u16::try_from(owner).expect("invariant: owner < nodes, which is u16"),
+            );
             cum += c;
         }
 

@@ -13,7 +13,8 @@
 //! carry their bodies inline (the paper's object inlining), so a fetched
 //! leaf enables its body-body interactions with no further traffic.
 
-use dpa_core::{PtrApp, WorkEnv};
+use crate::error::WorldError;
+use dpa_core::{DiffPlan, PtrApp, WorkEnv};
 use global_heap::{ClassTable, GPtr, ObjClass};
 use nbody::bh::{accepts, BhParams};
 use nbody::body::{point_accel, Body};
@@ -110,14 +111,33 @@ impl BhWorld {
 
     /// [`BhWorld::build`] with an explicit cell-ownership policy.
     pub fn build_with_policy(
-        mut bodies: Vec<Body>,
+        bodies: Vec<Body>,
         nodes: u16,
         leaf_cap: usize,
         params: BhParams,
         cost: BhCost,
         policy: OwnerPolicy,
     ) -> Arc<BhWorld> {
-        assert!(nodes >= 1 && !bodies.is_empty());
+        Self::try_build_with_policy(bodies, nodes, leaf_cap, params, cost, policy)
+            .expect("invalid BhWorld configuration")
+    }
+
+    /// Fallible [`BhWorld::build_with_policy`]: rejects an empty machine
+    /// or body set with a structured [`WorldError`] instead of panicking.
+    pub fn try_build_with_policy(
+        mut bodies: Vec<Body>,
+        nodes: u16,
+        leaf_cap: usize,
+        params: BhParams,
+        cost: BhCost,
+        policy: OwnerPolicy,
+    ) -> Result<Arc<BhWorld>, WorldError> {
+        if nodes == 0 {
+            return Err(WorldError::NoNodes);
+        }
+        if bodies.is_empty() {
+            return Err(WorldError::Empty { what: "bodies" });
+        }
         // Morton sort for spatially-contiguous ownership.
         let mut lo = bodies[0].pos;
         let mut hi = bodies[0].pos;
@@ -133,7 +153,8 @@ impl BhWorld {
 
         // Owner of a body index: which contiguous chunk it falls into.
         let body_owner = |b: u32| -> u16 {
-            (splits.partition_point(|&s| s <= b as usize) - 1) as u16
+            u16::try_from(splits.partition_point(|&s| s <= b as usize) - 1)
+                .expect("invariant: chunk index < nodes, which is u16")
         };
 
         let mut cell_owner = vec![0u16; tree.len()];
@@ -144,7 +165,8 @@ impl BhWorld {
                     let h = (id as u64)
                         .wrapping_mul(0xD6E8_FEB8_6659_FD93)
                         .rotate_left(29);
-                    cell_owner[id] = (h % nodes as u64) as u16;
+                    cell_owner[id] = u16::try_from(h % nodes as u64)
+                        .expect("invariant: h % nodes < nodes, which is u16");
                 }
             }
             OwnerPolicy::CmRegion => {
@@ -194,7 +216,7 @@ impl BhWorld {
         let mut classes = ClassTable::new();
         let cell_class = classes.register("bh_cell", CELL_HEADER_BYTES);
 
-        Arc::new(BhWorld {
+        Ok(Arc::new(BhWorld {
             bodies,
             tree,
             params,
@@ -205,7 +227,7 @@ impl BhWorld {
             classes,
             cell_class,
             nodes,
-        })
+        }))
     }
 
     /// Global pointer to cell `id`.
@@ -252,6 +274,8 @@ pub struct BhApp {
     /// bit-identical regardless of execution order, strip size, object
     /// placement, or migration — the determinism oracle for this phase.
     pub interaction_hash: u64,
+    /// Differential-mode change schedule; `None` for single-phase runs.
+    plan: Option<DiffPlan>,
 }
 
 /// Mix two interaction ids into one well-spread 64-bit word
@@ -279,6 +303,18 @@ impl BhApp {
             body_interactions: 0,
             cells_visited: 0,
             interaction_hash: 0,
+            plan: None,
+        }
+    }
+
+    /// Like [`BhApp::new`] but value-sensitive for multi-timestep runs:
+    /// every cell visit folds [`DiffPlan::stamp`] at the generation
+    /// actually read into `interaction_hash`, so a stale carried cache
+    /// entry corrupts the digest against a from-scratch run.
+    pub fn new_diff(world: Arc<BhWorld>, me: u16, plan: DiffPlan) -> BhApp {
+        BhApp {
+            plan: Some(plan),
+            ..BhApp::new(world, me)
         }
     }
 
@@ -307,7 +343,18 @@ impl PtrApp for BhApp {
 
     fn run_work(&mut self, w: BhVisit, env: &mut WorkEnv<'_, BhVisit>) {
         let world = self.world.clone();
-        env.assert_readable(world.cell_ptr(w.cell));
+        let ptr = world.cell_ptr(w.cell);
+        env.assert_readable(ptr);
+        if let Some(plan) = self.plan {
+            // The generation actually read: the renamed-storage stamp for
+            // fetched/carried copies, the live generation for local reads.
+            let gen = env
+                .cached_generation(ptr)
+                .unwrap_or_else(|| plan.gen_of(ptr));
+            self.interaction_hash = self
+                .interaction_hash
+                .wrapping_add(DiffPlan::stamp(ptr, gen));
+        }
         let cell = &world.tree.cells[w.cell as usize];
         let cost = world.cost;
         let pos = world.bodies[w.body as usize].pos;
@@ -354,6 +401,13 @@ impl PtrApp for BhApp {
 
     fn object_size(&self, ptr: GPtr) -> u32 {
         self.world.cell_bytes[ptr.index() as usize]
+    }
+
+    fn object_generation(&self, ptr: GPtr) -> u32 {
+        match self.plan {
+            Some(plan) => plan.gen_of(ptr),
+            None => 0,
+        }
     }
 }
 
@@ -404,11 +458,13 @@ mod tests {
         for (id, cell) in w.tree.iter() {
             if cell.is_leaf() && !cell.bodies.is_empty() {
                 let b = cell.bodies[0] as usize;
-                let owner_of_body = w
-                    .splits
-                    .windows(2)
-                    .position(|win| b >= win[0] && b < win[1])
-                    .unwrap() as u16;
+                let owner_of_body = u16::try_from(
+                    w.splits
+                        .windows(2)
+                        .position(|win| b >= win[0] && b < win[1])
+                        .expect("every body index falls inside a split window"),
+                )
+                .expect("invariant: split window index < nodes, which is u16");
                 total += 1;
                 if w.cell_owner[id as usize] == owner_of_body {
                     own += 1;
@@ -429,6 +485,32 @@ mod tests {
                 CELL_HEADER_BYTES + cell.bodies.len() as u32 * INLINE_BODY_BYTES;
             assert_eq!(w.cell_bytes[id as usize], expect);
         }
+    }
+
+    #[test]
+    fn try_build_rejects_bad_configs() {
+        let err = BhWorld::try_build_with_policy(
+            Vec::new(),
+            4,
+            8,
+            BhParams::default(),
+            BhCost::default(),
+            OwnerPolicy::Builder,
+        )
+        .err()
+        .expect("config must be rejected");
+        assert_eq!(err, WorldError::Empty { what: "bodies" });
+        let err = BhWorld::try_build_with_policy(
+            plummer(10, 1),
+            0,
+            8,
+            BhParams::default(),
+            BhCost::default(),
+            OwnerPolicy::Builder,
+        )
+        .err()
+        .expect("config must be rejected");
+        assert_eq!(err, WorldError::NoNodes);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Structured configuration errors for world builders.
+//!
+//! The builders distribute a workload over a `u16`-indexed machine; every
+//! owner index they compute is provably `< nodes` and narrows with a
+//! *checked* conversion (`u16::try_from(..).expect("invariant: ..")`).
+//! What can genuinely go wrong is the caller's configuration — an empty
+//! machine or an empty workload — and those surface as a [`WorldError`]
+//! from the `try_build*` constructors instead of a panic deep inside the
+//! build.
+
+use std::fmt;
+
+/// A world-builder configuration rejected before construction starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldError {
+    /// The machine must have at least one node.
+    NoNodes,
+    /// The workload has no elements to distribute.
+    Empty {
+        /// What was empty (`"bodies"`, `"vertices"`, ...).
+        what: &'static str,
+    },
+    /// Fewer elements than nodes: some node would own nothing, which the
+    /// contiguous-chunk partitioners do not support.
+    TooFewElements {
+        /// What is being distributed.
+        what: &'static str,
+        /// How many elements there are.
+        have: usize,
+        /// Machine size requested.
+        nodes: u16,
+    },
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldError::NoNodes => write!(f, "machine must have at least one node"),
+            WorldError::Empty { what } => write!(f, "workload has no {what}"),
+            WorldError::TooFewElements { what, have, nodes } => write!(
+                f,
+                "only {have} {what} for {nodes} nodes: every node must own at least one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            WorldError::NoNodes.to_string(),
+            "machine must have at least one node"
+        );
+        assert_eq!(
+            WorldError::Empty { what: "bodies" }.to_string(),
+            "workload has no bodies"
+        );
+        let e = WorldError::TooFewElements {
+            what: "vertices",
+            have: 3,
+            nodes: 8,
+        };
+        assert!(e.to_string().contains("3 vertices for 8 nodes"));
+    }
+}

@@ -193,7 +193,10 @@ impl FmmWorld {
             let c = box_count[b.dense_index()] as u64;
             let mid = 2 * cum + c; // midpoint × 2 to stay in integers
             let owner = ((mid * nodes as u64) / (2 * total_particles)).min(nodes as u64 - 1);
-            root_owner.insert(*b, owner as u16);
+            root_owner.insert(
+                *b,
+                u16::try_from(owner).expect("invariant: owner < nodes, which is u16"),
+            );
             cum += c;
         }
 

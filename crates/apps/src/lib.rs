@@ -28,10 +28,12 @@
 pub mod afmm_dist;
 pub mod bh_dist;
 pub mod driver;
+pub mod error;
 pub mod fmm_dist;
 pub mod relax;
 
 pub use afmm_dist::{AEvalWork, AfmmEvalApp, AfmmGatherApp, AfmmWorld, GatherWork};
+pub use error::WorldError;
 pub use bh_dist::{BhApp, BhCost, BhVisit, BhWorld, OwnerPolicy};
 pub use driver::{merge_stats, run_afmm, run_bh, run_fmm, AfmmRun, BhRun, FmmRun};
 pub use fmm_dist::{EvalWork, FmmCost, FmmEvalApp, FmmM2lApp, FmmWorld, M2lWork};

@@ -13,6 +13,7 @@
 //! aggregate per owner, and so do updates; the baselines send one message
 //! per miss and per update.
 
+use crate::error::WorldError;
 use dpa_core::{PtrApp, WorkEnv};
 use global_heap::{ClassTable, GPtr, ObjClass};
 use sim_net::Rng;
@@ -74,7 +75,32 @@ impl RelaxWorld {
         remote_fraction: f64,
         seed: u64,
     ) -> Arc<RelaxWorld> {
-        assert!(n >= nodes as usize && nodes >= 1);
+        Self::try_build(n, nodes, degree, remote_fraction, seed)
+            .expect("invalid RelaxWorld configuration")
+    }
+
+    /// Fallible [`RelaxWorld::build`]: rejects an empty machine or a graph
+    /// smaller than the machine with a structured [`WorldError`].
+    pub fn try_build(
+        n: usize,
+        nodes: u16,
+        degree: usize,
+        remote_fraction: f64,
+        seed: u64,
+    ) -> Result<Arc<RelaxWorld>, WorldError> {
+        if nodes == 0 {
+            return Err(WorldError::NoNodes);
+        }
+        if n == 0 {
+            return Err(WorldError::Empty { what: "vertices" });
+        }
+        if n < nodes as usize {
+            return Err(WorldError::TooFewElements {
+                what: "vertices",
+                have: n,
+                nodes,
+            });
+        }
         let splits = nbody::morton::even_splits(n, nodes as usize);
         let owner_of = |v: usize| -> usize {
             splits.partition_point(|&s| s <= v) - 1
@@ -109,20 +135,21 @@ impl RelaxWorld {
         }
         let mut classes = ClassTable::new();
         let vclass = classes.register("relax_vertex", 32);
-        Arc::new(RelaxWorld {
+        Ok(Arc::new(RelaxWorld {
             vertices,
             splits,
             cost: RelaxCost::default(),
             classes,
             vclass,
             nodes,
-        })
+        }))
     }
 
     /// Global pointer to vertex `v` (owned by its home node).
     #[inline]
     pub fn vptr(&self, v: u32) -> GPtr {
-        let owner = (self.splits.partition_point(|&s| s <= v as usize) - 1) as u16;
+        let owner = u16::try_from(self.splits.partition_point(|&s| s <= v as usize) - 1)
+            .expect("invariant: vertex owner < nodes, which is u16");
         GPtr::new(owner, self.vclass, v as u64)
     }
 
@@ -240,6 +267,26 @@ mod tests {
             let p = w.vptr(v);
             assert!(w.range(p.node()).contains(&(v as usize)));
         }
+    }
+
+    #[test]
+    fn try_build_rejects_bad_configs() {
+        assert_eq!(
+            RelaxWorld::try_build(100, 0, 3, 0.5, 1).err().expect("config must be rejected"),
+            WorldError::NoNodes
+        );
+        assert_eq!(
+            RelaxWorld::try_build(0, 4, 3, 0.5, 1).err().expect("config must be rejected"),
+            WorldError::Empty { what: "vertices" }
+        );
+        assert_eq!(
+            RelaxWorld::try_build(3, 4, 3, 0.5, 1).err().expect("config must be rejected"),
+            WorldError::TooFewElements {
+                what: "vertices",
+                have: 3,
+                nodes: 4
+            }
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@ use apps::relax::{RelaxApp, RelaxWorld};
 use crate::{bh_world_sized, fmm_world_sized};
 use dpa_core::invariant::{check_completed, check_conservation, NodeSnapshot};
 use dpa_core::synth::{SynthApp, SynthParams, SynthWorld};
-use dpa_core::{run_phase_dst, run_phase_migrating, DpaConfig, DstOptions};
+use dpa_core::{
+    run_phase_differential, run_phase_dst, run_phase_migrating, DiffPlan, DpaConfig, DstOptions,
+};
 use nbody::fmm::Local;
 use sim_net::{FaultPlan, NetConfig, NodePause, RunReport};
 use std::collections::HashMap;
@@ -34,7 +36,11 @@ pub const SMOKE_PLANS: &[&str] = &["none", "drop"];
 /// workloads run under the adaptive strip controller
 /// ([`dpa_core::stripctl`]) with bounds tight enough that every node
 /// crosses several retune boundaries; `bh-adapt` is additionally
-/// multi-phase so the controllers carry across barriers.
+/// multi-phase so the controllers carry across barriers. The `-diff`
+/// workloads run multi-timestep with **differential re-alignment**
+/// ([`run_phase_differential`]): tables and cached arrivals carry across
+/// barriers, patched by boundary deltas; `bh-diff` additionally enables
+/// migration so delta routing composes with re-homing.
 pub const WORKLOADS: &[&str] = &[
     "synth-dpa",
     "synth-caching",
@@ -45,12 +51,28 @@ pub const WORKLOADS: &[&str] = &[
     "bh-mig",
     "synth-adapt",
     "bh-adapt",
+    "synth-diff",
+    "bh-diff",
 ];
 /// Adaptive strip bounds for the `-adapt` workloads (deliberately tight:
 /// the small DST worlds must still cross retune boundaries).
 pub const ADAPT_BOUNDS: (usize, usize) = (2, 64);
 /// Phases per migration workload run (tables carry across boundaries).
 pub const MIG_PHASES: usize = 3;
+/// Timesteps per differential workload run — enough boundaries that a
+/// carried entry can go stale, be invalidated, and be carried again.
+pub const DIFF_PHASES: usize = 4;
+
+/// The change schedule shared by every `-diff` run: ~15% of objects mutate
+/// per boundary, which exercises both the invalidation path and the
+/// carried-entry fast path in every phase.
+pub fn diff_plan() -> DiffPlan {
+    DiffPlan {
+        seed: 0xD1FF_F00D,
+        change_permille: 150,
+        phase: 0,
+    }
+}
 /// Where failing cases are recorded, relative to the repository root.
 pub const CORPUS_DIR: &str = "tests/dst_corpus";
 
@@ -215,8 +237,75 @@ fn merge(report: &RunReport, mut snaps: Vec<NodeSnapshot>, extra: (RunReport, Ve
 ///
 /// Panics on an unknown workload name; use [`WORKLOADS`] to validate.
 pub fn run_one(w: &Worlds, workload: &str, opts: &DstOptions) -> Outcome {
+    run_one_mode(w, workload, opts, true)
+}
+
+/// [`run_one`] with the execution mode of the `-diff` workloads pinned:
+/// `differential = true` drives them through [`run_phase_differential`]
+/// (the default, and what the sweep exercises); `false` runs the *same
+/// multi-timestep workload* from scratch every phase via
+/// [`run_phase_migrating`] — the comparator the equivalence suite holds
+/// the differential digests bit-identical to. The flag is ignored for
+/// every other workload.
+pub fn run_one_mode(w: &Worlds, workload: &str, opts: &DstOptions, differential: bool) -> Outcome {
     let net = net_for(opts);
     match workload {
+        "synth-diff" => {
+            let world = w.synth.clone();
+            let nodes = world.nodes;
+            let plan = diff_plan();
+            let mut sums = vec![0u64; DIFF_PHASES * nodes as usize];
+            let mk = |ph: usize, i: u16| {
+                SynthApp::new_diff(world.clone(), i, 500, plan.at_phase(ph as u32))
+            };
+            let collect = |ph: usize, i: u16, app: &SynthApp| {
+                sums[ph * nodes as usize + i as usize] = app.sum;
+            };
+            let (reports, snap_sets, _) = if differential {
+                run_phase_differential(
+                    nodes,
+                    net,
+                    DpaConfig::dpa_differential(4),
+                    opts,
+                    DIFF_PHASES,
+                    mk,
+                    collect,
+                )
+            } else {
+                run_phase_migrating(nodes, net, DpaConfig::dpa(4), opts, DIFF_PHASES, mk, collect)
+            };
+            mig_outcome(reports, snap_sets, Digest::Ints(sums))
+        }
+        "bh-diff" => {
+            let world = w.bh.clone();
+            let nodes = world.nodes;
+            let plan = diff_plan();
+            let mut hashes = vec![0u64; DIFF_PHASES * nodes as usize];
+            let mk = |ph: usize, i: u16| BhApp::new_diff(world.clone(), i, plan.at_phase(ph as u32));
+            let collect = |ph: usize, i: u16, app: &BhApp| {
+                hashes[ph * nodes as usize + i as usize] = app.interaction_hash;
+            };
+            // Differential composes with re-homing: same migration knobs as
+            // `dpa_migrating`, plus the differential barrier protocol.
+            let (reports, snap_sets, _) = if differential {
+                let cfg = DpaConfig {
+                    migration_epoch_ns: DpaConfig::dpa_migrating(8).migration_epoch_ns,
+                    ..DpaConfig::dpa_differential(8)
+                };
+                run_phase_differential(nodes, net, cfg, opts, DIFF_PHASES, mk, collect)
+            } else {
+                run_phase_migrating(
+                    nodes,
+                    net,
+                    DpaConfig::dpa_migrating(8),
+                    opts,
+                    DIFF_PHASES,
+                    mk,
+                    collect,
+                )
+            };
+            mig_outcome(reports, snap_sets, Digest::Ints(hashes))
+        }
         "synth-dpa" | "synth-caching" => {
             let cfg = if workload == "synth-dpa" {
                 DpaConfig::dpa(4)

@@ -270,6 +270,13 @@ pub struct DpaConfig {
     /// Maximum objects a node may migrate away per phase. Bounds both the
     /// migration traffic burst and the forwarding-stub table.
     pub migration_budget: usize,
+    /// Differential re-alignment: carry renamed storage, M/D interners,
+    /// and migration state across phase barriers, patching them with
+    /// boundary deltas (`PhaseDelta`) instead of rebuilding — only objects
+    /// whose generation or home moved are refetched. Off by default; the
+    /// one-shot paper configurations are bit-for-bit unchanged. Driven by
+    /// `run_phase_differential`.
+    pub differential: bool,
 }
 
 impl Default for DpaConfig {
@@ -293,6 +300,7 @@ impl Default for DpaConfig {
             migration_epoch_ns: 0,
             migration_threshold: 3,
             migration_budget: 64,
+            differential: false,
         }
     }
 }
@@ -350,6 +358,18 @@ impl DpaConfig {
         DpaConfig {
             strip_mode: StripMode::Fixed(strip),
             migration_epoch_ns: 40_000,
+            ..DpaConfig::default()
+        }
+    }
+
+    /// Full DPA driven differentially across timesteps: phase barriers
+    /// patch the runtime tables with boundary deltas instead of rebuilding
+    /// them (see `run_phase_differential`). Composes with migration the
+    /// way [`dpa_migrating`](DpaConfig::dpa_migrating) configures it.
+    pub fn dpa_differential(strip: usize) -> DpaConfig {
+        DpaConfig {
+            strip_mode: StripMode::Fixed(strip),
+            differential: true,
             ..DpaConfig::default()
         }
     }
@@ -451,9 +471,14 @@ impl DpaConfig {
                 } else {
                     String::new()
                 };
+                let diff = if self.differential {
+                    ", differential"
+                } else {
+                    ""
+                };
                 format!(
-                    "DPA(strip={}, agg={}, reply_agg={}, pipeline={}{})",
-                    self.strip_mode, self.agg_window, self.reply_agg_window, self.pipeline, mig
+                    "DPA(strip={}, agg={}, reply_agg={}, pipeline={}{}{})",
+                    self.strip_mode, self.agg_window, self.reply_agg_window, self.pipeline, mig, diff
                 )
             }
             v => v.label().to_string(),
@@ -606,5 +631,30 @@ mod tests {
         assert!(m.migration_budget > 0);
         assert!(m.describe().contains("migrate"));
         assert!(!DpaConfig::dpa(50).describe().contains("migrate"));
+    }
+
+    #[test]
+    fn differential_defaults_off_everywhere() {
+        // Every pre-existing preset must keep differential mode disabled
+        // so one-shot runs and their stat tables are bit-for-bit
+        // unchanged.
+        for cfg in [
+            DpaConfig::default(),
+            DpaConfig::dpa(50),
+            DpaConfig::dpa_base(50),
+            DpaConfig::dpa_pipeline(50),
+            DpaConfig::dpa_adaptive(2, 64),
+            DpaConfig::dpa_migrating(50),
+            DpaConfig::caching(),
+            DpaConfig::blocking(),
+            DpaConfig::sequential(),
+        ] {
+            assert!(!cfg.differential);
+        }
+        let d = DpaConfig::dpa_differential(50);
+        assert!(d.differential);
+        assert!(d.validate().is_ok());
+        assert!(d.describe().contains("differential"));
+        assert!(!DpaConfig::dpa(50).describe().contains("differential"));
     }
 }

@@ -2,12 +2,15 @@
 //! hand back both the timing report and the per-node application state.
 
 use crate::config::{DpaConfig, Variant};
+use crate::fxmap::{FxHashMap, FxHashSet};
 use crate::invariant::NodeSnapshot;
+use crate::mapping::PointerMap;
+use crate::pending::PendingRequests;
 use crate::proc_caching::CachingProc;
 use crate::proc_dpa::DpaProc;
 use crate::stripctl::StripController;
-use crate::work::PtrApp;
-use global_heap::MigrationTable;
+use crate::work::{PtrApp, Tagged};
+use global_heap::{GPtr, MigrationTable};
 use sim_net::{FaultPlan, Machine, NetConfig, NodeId, QueueKind, RunReport, Trace};
 
 /// Run one phase of `app` instances (one per node) under `cfg` on a
@@ -165,6 +168,40 @@ pub fn run_phase_dst<A: PtrApp>(
     }
 }
 
+/// Collapse dangling forwarding stubs at a phase barrier: for every
+/// departed entry whose target node never adopted the object (its
+/// `Migrate` was dropped, or a forward chain was still parked when the
+/// phase ended), complete the adoption offline. `size_of` supplies the
+/// payload size for the adoptee's table.
+///
+/// This is what makes the boundary re-homing *idempotent*: without it a
+/// transient drop leaves a stub pointing at a node with no payload, and
+/// every later phase's requests forward there and park forever — a
+/// permanent stall born from a single lost packet. Deterministic: owners
+/// in node order, departed entries sorted by pointer bits.
+///
+/// Returns the healed pointers (empty on a clean hand-off).
+pub fn heal_departed_orphans(
+    tables: &mut [MigrationTable],
+    mut size_of: impl FnMut(GPtr) -> u32,
+) -> Vec<GPtr> {
+    let mut healed = Vec::new();
+    for owner in 0..tables.len() {
+        for (bits, to) in tables[owner].departed_entries() {
+            let ptr = GPtr::from_bits(bits);
+            let to = to as usize;
+            debug_assert!(to < tables.len(), "stub targets an unknown node");
+            if to < tables.len() && !tables[to].is_adopted(ptr) {
+                let size = size_of(ptr);
+                if tables[to].adopt(ptr, size) {
+                    healed.push(ptr);
+                }
+            }
+        }
+    }
+    healed
+}
+
 /// Multi-phase DPA run with locality-driven object migration carried
 /// across phase boundaries.
 ///
@@ -264,6 +301,14 @@ pub fn run_phase_migrating<A: PtrApp>(
                 })
                 .collect();
             if phase + 1 < phases {
+                // Heal first: a Migrate dropped mid-phase (or a forward
+                // chain still parked at phase end) leaves a stub whose
+                // target never adopted. Completing the adoption at the
+                // barrier keeps re-homing idempotent — otherwise the next
+                // phase's forwards park on the missing adoptee forever.
+                heal_departed_orphans(&mut taken, |ptr| {
+                    m.proc(NodeId(ptr.node())).app().object_size(ptr)
+                });
                 // Boundary pass: commit the phase's accumulated affinity.
                 // Owners in node order, picks already deterministically
                 // sorted — replays are bit-identical.
@@ -279,6 +324,214 @@ pub fn run_phase_migrating<A: PtrApp>(
                 }
             }
             tables = Some(taken);
+        }
+    }
+    (reports, all_snaps, tables.unwrap_or_default())
+}
+
+/// One node's carried M/D pair (the retained mapping and pending table).
+type MdTables<A> = (PointerMap<Tagged<<A as PtrApp>::Work>>, PendingRequests);
+
+/// Multi-timestep DPA run with **differential re-alignment**: instead of
+/// rebuilding the runtime tables from scratch at every phase barrier, the
+/// per-node state is diffed and *patched*:
+///
+/// * **Renamed storage carries.** Each node's arrival set is drained at
+///   the barrier and re-seeded into the next phase's proc, every entry
+///   stamped with the generation it was fetched at. Unchanged objects are
+///   never refetched — the steady-state saving this mode exists for.
+/// * **Boundary deltas.** The driver diffs each carried entry's stamp
+///   against its home's current generation; at `on_start` every owner
+///   announces to each consumer carrying its objects which of them changed
+///   ([`crate::DpaMsg::PhaseDelta`] — an empty list is the all-clear). A
+///   consumer gates its first strip on hearing from every carried home,
+///   invalidates the listed copies, and refetches them on next use.
+/// * **M/D patching.** The `PointerMap` and `PendingRequests` interners
+///   (and their warmed waiter-list capacities) carry across the barrier
+///   via [`PointerMap::reset_for_phase`]: steady-state phases re-align a
+///   mostly-unchanged pointer set without touching the allocator.
+/// * **Migration and strips compose.** The boundary runs the same
+///   re-homing pass as [`run_phase_migrating`] (healed against dangling
+///   stubs first); carried entries whose home moved at this boundary — or
+///   whose home is the consumer itself — are pruned from the carry, so a
+///   re-homed object is always refetched from its new home. Adaptive
+///   strip controllers carry exactly as in the migrating driver.
+///
+/// Correctness bar: interaction checksums are bit-identical to a
+/// from-scratch [`run_phase_migrating`] run of the same workload — stale
+/// carries are observable because value-sensitive apps fold the stamp into
+/// their digests (see the `StaleCacheEntry` oracle).
+///
+/// `cfg.differential` must be set (see
+/// [`DpaConfig::dpa_differential`]); signature and return match
+/// [`run_phase_migrating`].
+pub fn run_phase_differential<A: PtrApp>(
+    nodes: u16,
+    net: NetConfig,
+    cfg: DpaConfig,
+    opts: &DstOptions,
+    phases: usize,
+    mut mk: impl FnMut(usize, u16) -> A,
+    mut collect: impl FnMut(usize, u16, &A),
+) -> (Vec<RunReport>, Vec<Vec<NodeSnapshot>>, Vec<MigrationTable>) {
+    assert!(nodes >= 1 && phases >= 1);
+    assert!(
+        matches!(cfg.variant, Variant::Dpa),
+        "differential drives the DPA variant only, got {:?}",
+        cfg.variant
+    );
+    assert!(
+        cfg.differential,
+        "run_phase_differential needs cfg.differential (see DpaConfig::dpa_differential)"
+    );
+    let migrate = cfg.migration_enabled();
+    let adaptive = cfg.adaptive_strip();
+    let mut tables: Option<Vec<MigrationTable>> = None;
+    let mut strip_ctls: Option<Vec<StripController>> = None;
+    // Cross-barrier carry: per-node arrival entries `(ptr, size, gen)`,
+    // the M/D tables, and the pointers whose home moved at the last
+    // boundary (pruned from the carry so they refetch from the new home).
+    let mut carries: Option<Vec<Vec<(GPtr, u32, u32)>>> = None;
+    let mut md_tables: Option<Vec<MdTables<A>>> = None;
+    let mut moved: FxHashSet<GPtr> = FxHashSet::default();
+    let mut reports = Vec::with_capacity(phases);
+    let mut all_snaps = Vec::with_capacity(phases);
+    for phase in 0..phases {
+        let mut procs: Vec<_> = (0..nodes)
+            .map(|i| DpaProc::new(mk(phase, i), nodes as usize, cfg.clone()))
+            .collect();
+        if let Some(tables) = tables.take() {
+            for (p, t) in procs.iter_mut().zip(tables) {
+                p.set_migration(t);
+            }
+        }
+        if let Some(ctls) = strip_ctls.take() {
+            for (p, c) in procs.iter_mut().zip(ctls) {
+                p.set_strip_controller(c);
+            }
+        }
+        if let Some(mds) = md_tables.take() {
+            for (p, (map, pend)) in procs.iter_mut().zip(mds) {
+                p.set_tables(map, pend);
+            }
+        }
+        if let Some(carries) = carries.take() {
+            // Current home of a carried pointer: the adopting node if any
+            // table claims it, else the birth home in the pointer bits.
+            let mut adopted_at: FxHashMap<GPtr, u16> = FxHashMap::default();
+            for (i, p) in procs.iter().enumerate() {
+                if let Some(t) = p.migration() {
+                    for (bits, _) in t.adopted_entries() {
+                        adopted_at.insert(GPtr::from_bits(bits), i as u16);
+                    }
+                }
+            }
+            // Per owner: the (consumer, changed entries) deltas to
+            // announce. Every surviving (consumer, home) pair gets an
+            // entry — an empty list is the owner's all-clear, and the
+            // consumer gates on hearing it.
+            let mut deltas: FxHashMap<u16, FxHashMap<u16, Vec<GPtr>>> = FxHashMap::default();
+            for (i, entries) in carries.into_iter().enumerate() {
+                let me = i as u16;
+                let mut kept: Vec<(GPtr, u32, u32)> = Vec::with_capacity(entries.len());
+                let mut awaiting: Vec<u16> = Vec::new();
+                for (ptr, size, gen) in entries {
+                    let home = adopted_at.get(&ptr).copied().unwrap_or_else(|| ptr.node());
+                    if home == me || moved.contains(&ptr) {
+                        // Served locally now, or re-homed at this boundary:
+                        // drop the carry so the next use refetches.
+                        continue;
+                    }
+                    let cur = procs[home as usize].app().object_generation(ptr);
+                    let dst = deltas.entry(home).or_default().entry(me).or_default();
+                    if cur != gen {
+                        // Entries arrive sorted from take_arrival_carry, so
+                        // the delta list stays sorted by pointer bits.
+                        dst.push(ptr);
+                    }
+                    if !awaiting.contains(&home) {
+                        awaiting.push(home);
+                    }
+                    kept.push((ptr, size, gen));
+                }
+                procs[i].set_phase_carry(kept, awaiting);
+            }
+            for (owner, per_consumer) in deltas {
+                let mut out: Vec<(u16, Vec<GPtr>)> = per_consumer.into_iter().collect();
+                // Sorted fan-out so the owner's send order (and seq
+                // assignment) is deterministic.
+                out.sort_unstable_by_key(|&(consumer, _)| consumer);
+                procs[owner as usize].set_phase_deltas(out);
+            }
+        }
+        moved.clear();
+        let mut m = Machine::new(procs, net.clone());
+        m.set_queue_kind(opts.queue);
+        m.set_faults(opts.faults.clone());
+        if let Some(seed) = opts.schedule_seed {
+            m.perturb_schedule(seed.wrapping_add(phase as u64));
+        }
+        reports.push(m.run_threads(opts.threads));
+        let mut snaps = Vec::with_capacity(nodes as usize);
+        for i in 0..nodes {
+            let p = m.proc(NodeId(i));
+            snaps.push(p.snapshot(i));
+            collect(phase, i, p.app());
+        }
+        all_snaps.push(snaps);
+        if adaptive && phase + 1 < phases {
+            strip_ctls = Some(
+                (0..nodes)
+                    .map(|i| {
+                        m.proc_mut(NodeId(i))
+                            .take_strip_controller()
+                            .expect("adaptive strip enabled")
+                    })
+                    .collect(),
+            );
+        }
+        if migrate {
+            let mut taken: Vec<MigrationTable> = (0..nodes)
+                .map(|i| {
+                    m.proc_mut(NodeId(i))
+                        .take_migration()
+                        .expect("migration enabled")
+                })
+                .collect();
+            if phase + 1 < phases {
+                // Same boundary pass as run_phase_migrating: heal dangling
+                // stubs, then commit the phase's affinity. Every pointer
+                // that changes home here is recorded so its carried copies
+                // are pruned above.
+                let healed = heal_departed_orphans(&mut taken, |ptr| {
+                    m.proc(NodeId(ptr.node())).app().object_size(ptr)
+                });
+                moved.extend(healed);
+                for owner in 0..nodes as usize {
+                    let picks = taken[owner]
+                        .pick_migrations(cfg.migration_threshold, cfg.migration_budget);
+                    for mv in picks {
+                        let size = m.proc(NodeId(owner as u16)).app().object_size(mv.ptr);
+                        if taken[owner].depart(mv.ptr, mv.to) {
+                            taken[mv.to as usize].adopt(mv.ptr, size);
+                            moved.insert(mv.ptr);
+                        }
+                    }
+                }
+            }
+            tables = Some(taken);
+        }
+        if phase + 1 < phases {
+            carries = Some(
+                (0..nodes)
+                    .map(|i| m.proc_mut(NodeId(i)).take_arrival_carry())
+                    .collect(),
+            );
+            md_tables = Some(
+                (0..nodes)
+                    .map(|i| m.proc_mut(NodeId(i)).take_tables())
+                    .collect(),
+            );
         }
     }
     (reports, all_snaps, tables.unwrap_or_default())

@@ -100,6 +100,18 @@ pub struct NodeSnapshot {
     pub adopted_ptrs: Vec<u64>,
     /// Pointer bits of every object that departed from this node (sorted).
     pub departed_ptrs: Vec<u64>,
+    /// Differential: PhaseDelta entries sent to consumers carrying this
+    /// node's objects.
+    pub delta_entries_sent: u64,
+    /// Differential: PhaseDelta entries received (after sequence dedup).
+    pub delta_entries_recv: u64,
+    /// Differential: homes whose boundary delta this node is still gated
+    /// on (0 after any completed phase — a gated node cannot finish).
+    pub deltas_awaited: usize,
+    /// Differential: held cache entries whose generation stamp disagrees
+    /// with the object's current generation — the delta-conservation
+    /// oracle ("no stale cache entry survives a home or value change").
+    pub stale_cache_entries: usize,
     /// Every strip the adaptive k-bound controller applied on this node,
     /// initial strip first (empty under a fixed strip).
     pub strip_schedule: Vec<u32>,
@@ -257,6 +269,32 @@ pub enum Violation {
         /// Affinity entries received across all nodes.
         recv: u64,
     },
+    /// A cache entry whose generation stamp disagrees with the object's
+    /// current generation survived to the end of a completed phase: a
+    /// boundary delta failed to invalidate a changed object's carried
+    /// copy, so threads may have read the previous timestep's value.
+    StaleCacheEntry {
+        /// Offending node.
+        node: u16,
+        /// How many held entries are stale.
+        count: usize,
+    },
+    /// A node finished a phase while still gated on boundary deltas — the
+    /// gate logic let work through before every carried home reported.
+    DeltaGateOpen {
+        /// Offending node.
+        node: u16,
+        /// Homes whose delta never arrived.
+        awaited: usize,
+    },
+    /// Machine-wide PhaseDelta conservation failed on a lossless run:
+    /// entries received (after dedup) ≠ entries sent.
+    DeltaLeak {
+        /// Delta entries sent across all nodes.
+        sent: u64,
+        /// Delta entries received across all nodes.
+        recv: u64,
+    },
     /// The adaptive strip controller applied a strip outside its
     /// configured `[min, max]` bounds — the controller's hard promise,
     /// independent of schedule or fault plan.
@@ -379,6 +417,19 @@ impl fmt::Display for Violation {
             Violation::AffinityLeak { sent, recv } => write!(
                 f,
                 "affinity leaked: sent {sent} entries != received {recv} (lossless run)"
+            ),
+            Violation::StaleCacheEntry { node, count } => write!(
+                f,
+                "n{node}: {count} stale cache entr{} survived the phase (generation stamp behind the object)",
+                if *count == 1 { "y" } else { "ies" }
+            ),
+            Violation::DeltaGateOpen { node, awaited } => write!(
+                f,
+                "n{node}: phase completed while still awaiting boundary deltas from {awaited} home(s)"
+            ),
+            Violation::DeltaLeak { sent, recv } => write!(
+                f,
+                "phase deltas leaked: sent {sent} entries != received {recv} (lossless run)"
             ),
             Violation::StripOutOfBounds {
                 node,
@@ -526,6 +577,22 @@ pub fn check_completed(snaps: &[NodeSnapshot], lossy: bool) -> Vec<Violation> {
                 mig: s.mig_buffered,
             });
         }
+        // Differential laws hold on any completed run, lossy or not: a
+        // dropped PhaseDelta keeps its consumer gated (the phase stalls
+        // rather than completing), so completion implies every delta
+        // landed and every stale carry was invalidated before use.
+        if s.deltas_awaited > 0 {
+            out.push(Violation::DeltaGateOpen {
+                node: s.node,
+                awaited: s.deltas_awaited,
+            });
+        }
+        if s.stale_cache_entries > 0 {
+            out.push(Violation::StaleCacheEntry {
+                node: s.node,
+                count: s.stale_cache_entries,
+            });
+        }
     }
     if !lossy {
         let emitted: u64 = snaps.iter().map(|s| s.updates_emitted).sum();
@@ -545,6 +612,14 @@ pub fn check_completed(snaps: &[NodeSnapshot], lossy: bool) -> Vec<Violation> {
         let recv: u64 = snaps.iter().map(|s| s.aff_recv).sum();
         if sent != recv {
             out.push(Violation::AffinityLeak { sent, recv });
+        }
+        let dsent: u64 = snaps.iter().map(|s| s.delta_entries_sent).sum();
+        let drecv: u64 = snaps.iter().map(|s| s.delta_entries_recv).sum();
+        if dsent != drecv {
+            out.push(Violation::DeltaLeak {
+                sent: dsent,
+                recv: drecv,
+            });
         }
         let adopted_anywhere: HashSet<u64> = snaps
             .iter()
@@ -796,6 +871,39 @@ mod tests {
         f.strip_schedule = vec![9999];
         f.strip_bounds = None;
         assert!(check_conservation(&[f]).is_empty());
+    }
+
+    #[test]
+    fn stale_cache_and_open_gate_flagged_even_on_lossy_completions() {
+        // A completed phase can never legitimately hold a stale carry or
+        // an open delta gate — drops stall the consumer instead.
+        let mut s = clean(2);
+        s.stale_cache_entries = 1;
+        s.deltas_awaited = 3;
+        let v = check_completed(std::slice::from_ref(&s), true);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::StaleCacheEntry { node: 2, count: 1 })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::DeltaGateOpen { node: 2, awaited: 3 })));
+        assert!(v[0].to_string().contains("n2"));
+        // ...but they are end-of-phase laws, not conservation laws: a
+        // stalled snapshot mid-gate is legal.
+        assert!(check_conservation(&[s]).is_empty());
+    }
+
+    #[test]
+    fn delta_conservation_on_lossless_runs() {
+        let mut a = clean(0);
+        a.delta_entries_sent = 6;
+        let mut b = clean(1);
+        b.delta_entries_recv = 4; // two entries vanished
+        let snaps = vec![a, b];
+        assert!(check_completed(&snaps, true).is_empty());
+        assert!(check_completed(&snaps, false)
+            .iter()
+            .any(|v| matches!(v, Violation::DeltaLeak { sent: 6, recv: 4 })));
     }
 
     #[test]

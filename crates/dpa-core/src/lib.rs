@@ -45,7 +45,8 @@ pub mod work;
 
 pub use config::{ConfigError, CostModel, DpaConfig, Variant};
 pub use driver::{
-    run_phase, run_phase_dst, run_phase_faulty, run_phase_migrating, run_phase_traced, DstOptions,
+    heal_departed_orphans, run_phase, run_phase_differential, run_phase_dst, run_phase_faulty,
+    run_phase_migrating, run_phase_traced, DstOptions,
 };
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use invariant::{check_completed, check_conservation, NodeSnapshot, Violation};
@@ -55,4 +56,4 @@ pub use pending::PendingRequests;
 pub use proc_caching::CachingProc;
 pub use proc_dpa::DpaProc;
 pub use stripctl::{AdaptiveStrip, StripController, StripMode, StripObs};
-pub use work::{Emit, PtrApp, Tagged, WorkEnv};
+pub use work::{DiffPlan, Emit, PtrApp, Tagged, WorkEnv};

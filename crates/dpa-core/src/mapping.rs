@@ -166,6 +166,23 @@ impl<W> PointerMap<W> {
     pub fn total_aligned(&self) -> u64 {
         self.total_aligned
     }
+
+    /// Patch the mapping across a phase barrier instead of rebuilding it:
+    /// waiter lists are cleared (their capacity retained) and the per-phase
+    /// statistics are zeroed, but the interner — pointer → dense id — and
+    /// the warmed list slab survive. The next phase's alignments over a
+    /// mostly-unchanged pointer set then reuse ids and capacities and never
+    /// touch the allocator; only genuinely new pointers intern fresh slots.
+    pub fn reset_for_phase(&mut self) {
+        for list in &mut self.waiters {
+            list.clear();
+        }
+        self.nonempty = 0;
+        self.live_threads = 0;
+        self.peak_threads = 0;
+        self.peak_keys = 0;
+        self.total_aligned = 0;
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +258,26 @@ mod tests {
         assert_eq!(m.keys(), 2);
         m.align(p(9), 4);
         assert_eq!(m.interned(), 3);
+    }
+
+    #[test]
+    fn reset_for_phase_keeps_interner_zeroes_stats() {
+        let mut m: PointerMap<u32> = PointerMap::new();
+        m.align(p(1), 1);
+        m.align(p(2), 2);
+        m.release(p(1));
+        m.reset_for_phase();
+        assert!(m.is_empty());
+        assert_eq!(m.live_threads(), 0);
+        assert_eq!(m.peak_threads(), 0);
+        assert_eq!(m.peak_keys(), 0);
+        assert_eq!(m.total_aligned(), 0);
+        assert_eq!(m.interned(), 2, "the interner survives the barrier");
+        // Waiters left behind (e.g. a carried entry covering them) are
+        // dropped; a fresh phase starts clean.
+        assert_eq!(m.waiters(p(2)), 0);
+        assert!(m.align(p(1), 9), "re-align is first again");
+        assert_eq!(m.interned(), 2, "re-align reuses the dense id");
     }
 
     #[test]

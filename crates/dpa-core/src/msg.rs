@@ -69,6 +69,21 @@ pub enum DpaMsg {
         /// The departed objects it wants.
         entries: Vec<GPtr>,
     },
+    /// Differential re-alignment: at a timestep boundary, an owner tells a
+    /// consumer which of the objects the consumer carried across the
+    /// barrier have *changed generation* and must be invalidated (and
+    /// refetched on next use). An empty entry list is meaningful — it is
+    /// the owner's "nothing you hold from me changed" all-clear — so the
+    /// consumer gates its first strip on having heard from every home it
+    /// carries entries of. Exactly one delta per (owner, consumer) pair
+    /// per phase; deduplicated on `(sender, seq)` against duplication
+    /// faults.
+    PhaseDelta {
+        /// Per-sender sequence number (dedup key; header, no payload cost).
+        seq: u64,
+        /// The carried objects whose generation moved.
+        entries: Vec<GPtr>,
+    },
 }
 
 impl DpaMsg {
@@ -81,6 +96,7 @@ impl DpaMsg {
             DpaMsg::Affinity { entries, .. } => entries.len(),
             DpaMsg::Migrate { entries, .. } => entries.len(),
             DpaMsg::Forward { entries, .. } => entries.len(),
+            DpaMsg::PhaseDelta { entries, .. } => entries.len(),
         }
     }
 }
@@ -102,6 +118,9 @@ impl MsgSize for DpaMsg {
             }
             // Requester id rides in the header; entries are bare pointers.
             DpaMsg::Forward { entries, .. } => (entries.len() as u32) * GPtr::WIRE_BYTES,
+            // Bare pointers; seq in the header. The all-clear (no entries)
+            // is a pure header packet.
+            DpaMsg::PhaseDelta { entries, .. } => (entries.len() as u32) * GPtr::WIRE_BYTES,
         }
     }
 }
@@ -178,6 +197,21 @@ mod tests {
         };
         assert_eq!(fwd.size_bytes(), 24, "forward re-sends bare pointers");
         assert_eq!(fwd.entries(), 3);
+    }
+
+    #[test]
+    fn phase_delta_bytes() {
+        let d = DpaMsg::PhaseDelta {
+            seq: 0,
+            entries: vec![p(1), p(2)],
+        };
+        assert_eq!(d.size_bytes(), 16, "bare pointers, seq in the header");
+        assert_eq!(d.entries(), 2);
+        let all_clear = DpaMsg::PhaseDelta {
+            seq: 0,
+            entries: vec![],
+        };
+        assert_eq!(all_clear.size_bytes(), 0, "the all-clear is header-only");
     }
 
     #[test]

@@ -55,11 +55,11 @@ pub(crate) fn lookup_entries<A: PtrApp>(
     app: &A,
     cfg: &DpaConfig,
     ctx: &mut Ctx<'_, DpaMsg>,
-    ptrs: Vec<GPtr>,
+    ptrs: &[GPtr],
     mig: Option<&MigrationTable>,
 ) -> Vec<(GPtr, u32)> {
-    ptrs.into_iter()
-        .map(|p| {
+    ptrs.iter()
+        .map(|&p| {
             debug_assert!(
                 match mig {
                     None => p.is_local_to(ctx.me().0),
@@ -100,7 +100,7 @@ pub(crate) fn service_request<A: PtrApp>(
     cfg: &DpaConfig,
     ctx: &mut Ctx<'_, DpaMsg>,
     src: NodeId,
-    ptrs: Vec<GPtr>,
+    ptrs: &[GPtr],
     mig: Option<&MigrationTable>,
 ) -> ReplyAccounting {
     let mtu = cfg.mtu.0;

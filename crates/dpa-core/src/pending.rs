@@ -136,6 +136,19 @@ impl PendingRequests {
     pub fn total(&self) -> u64 {
         self.total
     }
+
+    /// Patch the table across a phase barrier instead of rebuilding it:
+    /// presence flags drop and per-phase statistics zero, but the interner
+    /// survives, so requests for pointers the node fetched in earlier
+    /// phases flip an existing flag instead of growing the table.
+    pub fn reset_for_phase(&mut self) {
+        for f in &mut self.present {
+            *f = false;
+        }
+        self.live = 0;
+        self.peak = 0;
+        self.total = 0;
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +223,22 @@ mod tests {
         d.complete(p(3));
         let seen: Vec<GPtr> = d.iter().copied().collect();
         assert_eq!(seen, vec![p(9), p(7)], "first-request order, minus completed");
+    }
+
+    #[test]
+    fn reset_for_phase_keeps_interner_zeroes_stats() {
+        let mut d = PendingRequests::new();
+        d.insert(p(1));
+        d.insert(p(2));
+        d.complete(p(1));
+        d.reset_for_phase();
+        assert!(d.is_empty());
+        assert!(!d.contains(p(2)), "outstanding flags drop at the barrier");
+        assert_eq!(d.peak(), 0);
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.interned(), 2, "the interner survives the barrier");
+        assert!(d.insert(p(2)), "re-request is fresh");
+        assert_eq!(d.interned(), 2, "and reuses the dense id");
     }
 
     /// Regression for the latent ordering trap: two tables holding the same

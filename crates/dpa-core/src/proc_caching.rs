@@ -319,7 +319,7 @@ impl<A: PtrApp> Proc for CachingProc<A> {
             DpaMsg::Request(ptrs) => {
                 // The baselines never migrate, so no table is passed.
                 let acct =
-                    crate::owner::service_request(&self.app, &self.cfg, ctx, src, ptrs, None);
+                    crate::owner::service_request(&self.app, &self.cfg, ctx, src, &ptrs, None);
                 self.reply_msgs += acct.msgs;
                 self.reply_entries += acct.entries;
             }
@@ -363,8 +363,11 @@ impl<A: PtrApp> Proc for CachingProc<A> {
                     self.drive(ctx);
                 }
             }
-            DpaMsg::Affinity { .. } | DpaMsg::Migrate { .. } | DpaMsg::Forward { .. } => {
-                unreachable!("baselines never enable migration, so nobody sends these")
+            DpaMsg::Affinity { .. }
+            | DpaMsg::Migrate { .. }
+            | DpaMsg::Forward { .. }
+            | DpaMsg::PhaseDelta { .. } => {
+                unreachable!("baselines never enable migration or differential mode")
             }
         }
     }

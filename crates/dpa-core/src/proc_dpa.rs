@@ -128,6 +128,29 @@ pub struct DpaProc<A: PtrApp> {
     /// `(sender, seq)` dedup for Affinity / Migrate messages.
     seen_affinity: FxHashSet<(u16, u64)>,
     seen_migrates: FxHashSet<(u16, u64)>,
+    /// Differential re-alignment: the homes this node carried entries of
+    /// across the phase barrier and still awaits a `PhaseDelta` from. The
+    /// first strip is gated on hearing from every one, so a stale carried
+    /// copy is invalidated before any thread can read it.
+    awaiting_deltas: FxHashSet<u16>,
+    /// Owner-side boundary deltas to announce at `on_start`: per consumer,
+    /// the carried objects homed here whose generation moved (an empty
+    /// list is the all-clear).
+    delta_out: Vec<(u16, Vec<GPtr>)>,
+    /// `(sender, seq)` dedup for PhaseDelta messages.
+    seen_deltas: FxHashSet<(u16, u64)>,
+    /// Admission/driving withheld until every awaited delta arrives.
+    delta_gated: bool,
+    delta_msgs_sent: u64,
+    delta_msgs_recv: u64,
+    delta_entries_sent: u64,
+    delta_entries_recv: u64,
+    /// Carried copies invalidated by an incoming delta (refetched on next
+    /// use).
+    stale_invalidated: u64,
+    /// Entries preloaded from the differential carry (the phase began with
+    /// this much renamed storage already warm).
+    carried_in: u64,
     /// Objects installed (a pending request completed with data — by a
     /// reply or by an adoption that doubled as one). Equals
     /// `arrived.total_inserts()` whenever migration is off.
@@ -257,6 +280,16 @@ impl<A: PtrApp> DpaProc<A> {
             mig_out_at_start: 0,
             seen_affinity: FxHashSet::default(),
             seen_migrates: FxHashSet::default(),
+            awaiting_deltas: FxHashSet::default(),
+            delta_out: Vec::new(),
+            seen_deltas: FxHashSet::default(),
+            delta_gated: false,
+            delta_msgs_sent: 0,
+            delta_msgs_recv: 0,
+            delta_entries_sent: 0,
+            delta_entries_recv: 0,
+            stale_invalidated: 0,
+            carried_in: 0,
             installs: 0,
             affinity_msgs: 0,
             migrate_msgs: 0,
@@ -307,10 +340,78 @@ impl<A: PtrApp> DpaProc<A> {
             "set_migration on a config with migration disabled"
         );
         for (bits, size) in mig.adopted_entries() {
-            self.arrived.preload(GPtr::from_bits(bits), size);
+            let p = GPtr::from_bits(bits);
+            // Stamped at the *current* generation: the adoptee serves this
+            // object from world data, which is always current.
+            self.arrived.preload_gen(p, size, self.app.object_generation(p));
         }
         self.mig_out_at_start = mig.migrations_out();
         self.mig = Some(mig);
+    }
+
+    /// Install the differential carry (driver use, before the machine
+    /// starts): entries fetched in earlier phases are preloaded with the
+    /// generation they were originally fetched at, and `awaiting` names
+    /// the homes whose [`DpaMsg::PhaseDelta`] gates this node's first
+    /// strip — a stale copy is invalidated before any thread can read it.
+    pub fn set_phase_carry(&mut self, entries: Vec<(GPtr, u32, u32)>, awaiting: Vec<u16>) {
+        assert!(
+            self.cfg.differential,
+            "set_phase_carry on a non-differential config"
+        );
+        self.carried_in += entries.len() as u64;
+        for (ptr, size, gen) in entries {
+            self.arrived.preload_gen(ptr, size, gen);
+        }
+        self.awaiting_deltas = awaiting.into_iter().collect();
+        self.delta_gated = !self.awaiting_deltas.is_empty();
+    }
+
+    /// Install this node's outgoing boundary deltas (driver use): for each
+    /// consumer carrying entries homed here, the subset whose generation
+    /// moved across the barrier (empty = all-clear). Announced first thing
+    /// in `on_start`, *before* this node gates on its own awaited deltas,
+    /// so mutually-carrying nodes cannot deadlock.
+    pub fn set_phase_deltas(&mut self, deltas: Vec<(u16, Vec<GPtr>)>) {
+        assert!(
+            self.cfg.differential,
+            "set_phase_deltas on a non-differential config"
+        );
+        self.delta_out = deltas;
+    }
+
+    /// Drain the arrival set for the cross-phase carry (driver use, after
+    /// the machine stops): every held entry as `(ptr, size, generation)`,
+    /// sorted by pointer bits so the hand-off is deterministic.
+    pub fn take_arrival_carry(&mut self) -> Vec<(GPtr, u32, u32)> {
+        let mut out: Vec<(GPtr, u32, u32)> = self.arrived.entries().collect();
+        out.sort_unstable_by_key(|&(p, _, _)| p.bits());
+        out
+    }
+
+    /// Take M and D for cross-phase hand-off (driver use, after the
+    /// machine stops): interners and warmed waiter-list capacities travel
+    /// to the next phase's proc instead of being rebuilt.
+    pub fn take_tables(&mut self) -> (PointerMap<Tagged<A::Work>>, PendingRequests) {
+        (
+            std::mem::take(&mut self.map),
+            std::mem::take(&mut self.pending),
+        )
+    }
+
+    /// Install M and D carried from the previous phase (driver use, before
+    /// the machine starts). The tables are *patched* for reuse — per-phase
+    /// state reset, interners kept — rather than rebuilt; see
+    /// [`PointerMap::reset_for_phase`].
+    pub fn set_tables(
+        &mut self,
+        mut map: PointerMap<Tagged<A::Work>>,
+        mut pending: PendingRequests,
+    ) {
+        map.reset_for_phase();
+        pending.reset_for_phase();
+        self.map = map;
+        self.pending = pending;
     }
 
     /// The node's migration table, when migration is enabled.
@@ -424,6 +525,14 @@ impl<A: PtrApp> DpaProc<A> {
             orphans_pending: self.orphans.values().map(Vec::len).sum(),
             adopted_ptrs,
             departed_ptrs,
+            delta_entries_sent: self.delta_entries_sent,
+            delta_entries_recv: self.delta_entries_recv,
+            deltas_awaited: self.awaiting_deltas.len(),
+            stale_cache_entries: self
+                .arrived
+                .entries()
+                .filter(|&(p, _, gen)| gen != self.app.object_generation(p))
+                .count(),
             strip_schedule: self
                 .strip_ctl
                 .as_ref()
@@ -540,7 +649,7 @@ impl<A: PtrApp> DpaProc<A> {
 
     /// Owner-side scheduler: buffer reply entries for `src`, sending any
     /// batches the push forces out (budget/window full, oversized entry).
-    fn enqueue_replies(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, ptrs: Vec<GPtr>) {
+    fn enqueue_replies(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, ptrs: &[GPtr]) {
         let now = ctx.now().as_ns();
         for (p, size) in
             crate::owner::lookup_entries(&self.app, &self.cfg, ctx, ptrs, self.mig.as_ref())
@@ -666,7 +775,8 @@ impl<A: PtrApp> DpaProc<A> {
             // objects are phase-immutable, and local threads already routed
             // to this (former) home may not have run yet. New ownership —
             // and the next phase's routing — moves with the stub.
-            self.arrived.preload(mv.ptr, size);
+            self.arrived
+                .preload_gen(mv.ptr, size, self.app.object_generation(mv.ptr));
             self.mig_entries_pushed += 1;
             ctx.charge_overhead(self.cfg.cost.owner_lookup_ns);
             let entry_bytes = (size + GPtr::WIRE_BYTES) as u64;
@@ -699,7 +809,7 @@ impl<A: PtrApp> DpaProc<A> {
         &mut self,
         ctx: &mut Ctx<'_, DpaMsg>,
         src: NodeId,
-        ptrs: Vec<GPtr>,
+        mut ptrs: Vec<GPtr>,
     ) -> Vec<GPtr> {
         if self.mig.is_none() {
             return ptrs;
@@ -710,7 +820,7 @@ impl<A: PtrApp> DpaProc<A> {
         let mut early: Vec<GPtr> = Vec::new();
         {
             let m = self.mig.as_ref().expect("checked above");
-            for p in ptrs {
+            for p in ptrs.drain(..) {
                 if let Some(to) = m.forward_target(p) {
                     fwd.entry(to).or_default().push(p);
                 } else if p.is_local_to(me) || m.is_adopted(p) {
@@ -720,6 +830,7 @@ impl<A: PtrApp> DpaProc<A> {
                 }
             }
         }
+        self.coal.recycle(ptrs);
         for p in early {
             self.orphans.entry(p).or_default().push(src.0);
             self.orphans_total += 1;
@@ -751,28 +862,28 @@ impl<A: PtrApp> DpaProc<A> {
     fn answer_forwarded(&mut self, ctx: &mut Ctx<'_, DpaMsg>, requester: u16, ptrs: Vec<GPtr>) {
         let me = ctx.me();
         if requester == me.0 {
-            let objs: Vec<(GPtr, u32)> = ptrs
-                .into_iter()
-                .map(|p| (p, self.app.object_size(p)))
-                .collect();
+            let objs: Vec<(GPtr, u32)> =
+                ptrs.iter().map(|&p| (p, self.app.object_size(p))).collect();
+            self.coal.recycle(ptrs);
             self.install_reply(ctx, me, objs);
             return;
         }
         if self.cfg.reply_agg_window > 1 && !self.stack.is_empty() && !self.done {
-            self.enqueue_replies(ctx, NodeId(requester), ptrs);
+            self.enqueue_replies(ctx, NodeId(requester), &ptrs);
         } else {
             let acct = crate::owner::service_request(
                 &self.app,
                 &self.cfg,
                 ctx,
                 NodeId(requester),
-                ptrs,
+                &ptrs,
                 self.mig.as_ref(),
             );
             self.reply_msgs += acct.msgs;
             self.reply_entries_pushed += acct.entries;
             self.reply_entries_sent += acct.entries;
         }
+        self.coal.recycle(ptrs);
     }
 
     /// One migration epoch: report sampled affinity, then ship this
@@ -865,8 +976,8 @@ impl<A: PtrApp> DpaProc<A> {
     /// node other than the birth home reveals a re-homing (the serving node
     /// is the adoptee), which is how consumers learn to skip the forwarding
     /// hop next phase.
-    fn install_reply(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, objs: Vec<(GPtr, u32)>) {
-        for (ptr, size) in objs {
+    fn install_reply(&mut self, ctx: &mut Ctx<'_, DpaMsg>, src: NodeId, mut objs: Vec<(GPtr, u32)>) {
+        for (ptr, size) in objs.drain(..) {
             ctx.charge_overhead(self.cfg.cost.reply_install_ns + self.pressure());
             if let Some(m) = self.mig.as_mut() {
                 if src.0 != ptr.node() {
@@ -876,7 +987,9 @@ impl<A: PtrApp> DpaProc<A> {
             // The wire reply (even a redundant one) retires the in-flight
             // request for this object.
             self.in_flight.remove(&ptr);
-            let fresh = self.arrived.insert(ptr, size);
+            let fresh = self
+                .arrived
+                .insert_gen(ptr, size, self.app.object_generation(ptr));
             if !fresh && !self.pending.contains(ptr) {
                 // Duplicated reply, or the object was already installed by
                 // an adoption that completed the request.
@@ -887,12 +1000,19 @@ impl<A: PtrApp> DpaProc<A> {
             self.installs += 1;
             self.map.release_into(ptr, &mut self.stack);
         }
+        self.reply_coal.recycle(objs);
         self.peak_stack = self.peak_stack.max(self.stack.len() as u64);
     }
 
     /// The scheduling loop: execute, admit, then schedule communication.
     /// Slices itself every `poll_interval_ns` of simulated time.
     fn drive(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        if self.delta_gated {
+            // First strip is gated on the boundary deltas: a carried copy
+            // might be stale, and running a thread over it before the
+            // invalidation lands would read the previous timestep's value.
+            return;
+        }
         let slice_start = ctx.now();
         let slice = Dur::from_ns(self.cfg.poll_interval_ns);
         loop {
@@ -981,6 +1101,7 @@ impl<A: PtrApp> DpaProc<A> {
                     self.send_affinity(ctx);
                     self.next_epoch_at = None;
                 }
+                debug_assert!(self.awaiting_deltas.is_empty());
                 debug_assert!(self.map.is_empty());
                 debug_assert!(self.upd_coal.is_empty());
                 debug_assert!(self.reply_coal.is_empty());
@@ -1009,6 +1130,21 @@ impl<A: PtrApp> Proc for DpaProc<A> {
             self.next_epoch_at = Some(ctx.now().as_ns() + epoch);
             ctx.wake_after(Dur::from_ns(epoch));
         }
+        // Differential boundary deltas go out before this node gates on
+        // its own awaited ones, so mutually-carrying nodes cannot
+        // deadlock. The all-clear (empty list) is a header-only packet.
+        let me = ctx.me().0;
+        for (dst, entries) in std::mem::take(&mut self.delta_out) {
+            debug_assert!(dst != me, "self-deltas must be pruned by the driver");
+            ctx.charge_overhead(self.cfg.cost.request_entry_ns * entries.len() as u64);
+            let seq = self.delta_msgs_sent;
+            self.delta_msgs_sent += 1;
+            self.delta_entries_sent += entries.len() as u64;
+            ctx.send(NodeId(dst), DpaMsg::PhaseDelta { seq, entries });
+        }
+        if self.delta_gated {
+            return;
+        }
         self.admit(ctx);
         self.drive(ctx);
     }
@@ -1019,6 +1155,7 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                 // Requests for departed objects chase their stub one hop.
                 let ptrs = self.triage_request(ctx, src, ptrs);
                 if ptrs.is_empty() {
+                    self.coal.recycle(ptrs);
                     return;
                 }
                 // Adaptive policy: buffer replies only while local work is
@@ -1026,33 +1163,37 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                 // deadline wake); an idle or finished owner answers
                 // immediately — quiescence means flush.
                 if self.cfg.reply_agg_window > 1 && !self.stack.is_empty() && !self.done {
-                    self.enqueue_replies(ctx, src, ptrs);
+                    self.enqueue_replies(ctx, src, &ptrs);
                 } else {
                     let acct = crate::owner::service_request(
                         &self.app,
                         &self.cfg,
                         ctx,
                         src,
-                        ptrs,
+                        &ptrs,
                         self.mig.as_ref(),
                     );
                     self.reply_msgs += acct.msgs;
                     self.reply_entries_pushed += acct.entries;
                     self.reply_entries_sent += acct.entries;
                 }
+                // The consumed payload buffer seeds this node's own request
+                // coalescer: in steady state request traffic is
+                // allocation-free in both directions.
+                self.coal.recycle(ptrs);
             }
             DpaMsg::Reply(objs) => {
                 self.install_reply(ctx, src, objs);
                 self.drive(ctx);
             }
-            DpaMsg::Update { seq, entries } => {
+            DpaMsg::Update { seq, mut entries } => {
                 // Exactly-once application under at-least-once delivery:
                 // a duplicated Update message is recognized by its
                 // (sender, seq) pair and skipped wholesale.
                 if !self.seen_updates.insert((src.0, seq)) {
                     return;
                 }
-                for (ptr, value) in entries {
+                for (ptr, value) in entries.drain(..) {
                     // Reductions always target the birth home — migration
                     // re-routes the read path only.
                     debug_assert!(ptr.is_local_to(ctx.me().0));
@@ -1060,15 +1201,16 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                     self.updates_applied += 1;
                     self.app.apply_update(ptr, value);
                 }
+                self.upd_coal.recycle(entries);
             }
-            DpaMsg::Affinity { seq, entries } => {
+            DpaMsg::Affinity { seq, mut entries } => {
                 if !self.seen_affinity.insert((src.0, seq)) {
                     return;
                 }
                 self.aff_entries_recv += entries.len() as u64;
                 let me = ctx.me().0;
                 if let Some(m) = self.mig.as_mut() {
-                    for (ptr, n) in entries {
+                    for (ptr, n) in entries.drain(..) {
                         ctx.charge_overhead(self.cfg.cost.map_update_ns);
                         m.record_affinity(ptr, src.0, n as u64, me);
                     }
@@ -1076,14 +1218,15 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                     // threshold; make sure an owner epoch will look.
                     self.arm_epoch(ctx);
                 }
+                self.mig_coal.recycle(entries);
             }
-            DpaMsg::Migrate { seq, entries } => {
+            DpaMsg::Migrate { seq, mut entries } => {
                 if !self.seen_migrates.insert((src.0, seq)) {
                     return;
                 }
                 let me = ctx.me().0;
                 let mut orphan_replies: FxHashMap<u16, Vec<(GPtr, u32)>> = FxHashMap::default();
-                for (ptr, size) in entries {
+                for (ptr, size) in entries.drain(..) {
                     let adopted = self
                         .mig
                         .as_mut()
@@ -1093,17 +1236,18 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                         continue; // duplicate shipment: already adopted
                     }
                     ctx.charge_overhead(self.cfg.cost.reply_install_ns);
+                    let gen = self.app.object_generation(ptr);
                     if self.pending.contains(ptr) {
                         // Our own request for this object is outstanding;
                         // adoption doubles as its reply.
-                        let fresh = self.arrived.insert(ptr, size);
+                        let fresh = self.arrived.insert_gen(ptr, size, gen);
                         debug_assert!(fresh, "pending object was already installed");
                         let was_pending = self.pending.complete(ptr);
                         debug_assert!(was_pending);
                         self.installs += 1;
                         self.map.release_into(ptr, &mut self.stack);
                     } else {
-                        self.arrived.preload(ptr, size);
+                        self.arrived.preload_gen(ptr, size, gen);
                     }
                     // Forwards that outran this shipment can now be served.
                     if let Some(reqs) = self.orphans.remove(&ptr) {
@@ -1122,6 +1266,7 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                         }
                     }
                 }
+                self.mig_coal.recycle(entries);
                 let mut dsts: Vec<u16> = orphan_replies.keys().copied().collect();
                 dsts.sort_unstable();
                 for dst in dsts {
@@ -1133,9 +1278,9 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                 self.peak_stack = self.peak_stack.max(self.stack.len() as u64);
                 self.drive(ctx);
             }
-            DpaMsg::Forward { requester, entries } => {
+            DpaMsg::Forward { requester, mut entries } => {
                 let mut ready: Vec<GPtr> = Vec::new();
-                for ptr in entries {
+                for ptr in entries.drain(..) {
                     if self.mig.as_ref().is_some_and(|m| m.is_adopted(ptr)) {
                         ready.push(ptr);
                     } else {
@@ -1145,8 +1290,31 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                         self.orphans_total += 1;
                     }
                 }
+                self.coal.recycle(entries);
                 if !ready.is_empty() {
                     self.answer_forwarded(ctx, requester, ready);
+                    self.drive(ctx);
+                }
+            }
+            DpaMsg::PhaseDelta { seq, mut entries } => {
+                if !self.seen_deltas.insert((src.0, seq)) {
+                    return;
+                }
+                self.delta_msgs_recv += 1;
+                self.delta_entries_recv += entries.len() as u64;
+                for ptr in entries.drain(..) {
+                    ctx.charge_overhead(self.cfg.cost.map_update_ns);
+                    if self.arrived.invalidate(ptr) {
+                        self.stale_invalidated += 1;
+                    }
+                }
+                self.coal.recycle(entries);
+                if self.awaiting_deltas.remove(&src.0)
+                    && self.awaiting_deltas.is_empty()
+                    && self.delta_gated
+                {
+                    self.delta_gated = false;
+                    self.admit(ctx);
                     self.drive(ctx);
                 }
             }
@@ -1210,6 +1378,11 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                 ctl.retunes()
             ));
         }
+        if !self.awaiting_deltas.is_empty() {
+            let mut homes: Vec<u16> = self.awaiting_deltas.iter().copied().collect();
+            homes.sort_unstable();
+            detail.push_str(&format!("; gated awaiting deltas from {homes:?}"));
+        }
         Some(detail)
     }
 
@@ -1264,6 +1437,14 @@ impl<A: PtrApp> Proc for DpaProc<A> {
             stats.bump("strip_min_applied", sched.iter().copied().min().unwrap_or(0) as u64);
             stats.bump("strip_max_applied", sched.iter().copied().max().unwrap_or(0) as u64);
             stats.bump("strip_reversals_damped", ctl.reversals_damped());
+        }
+        // Differential columns only exist in differential runs, so every
+        // other stat table stays byte-identical.
+        if self.cfg.differential {
+            stats.bump("delta_msgs", self.delta_msgs_sent);
+            stats.bump("delta_entries", self.delta_entries_sent);
+            stats.bump("carried_entries", self.carried_in);
+            stats.bump("stale_invalidated", self.stale_invalidated);
         }
         // Migration columns only exist in migration runs, so the baseline
         // stat tables stay byte-identical.

@@ -8,7 +8,7 @@
 //! the same per-node checksum, which makes this workload a sharp
 //! equivalence oracle for the drivers.
 
-use crate::work::{PtrApp, WorkEnv};
+use crate::work::{DiffPlan, PtrApp, WorkEnv};
 use global_heap::{ClassTable, GPtr};
 use sim_net::Rng;
 use std::sync::Arc;
@@ -171,6 +171,26 @@ impl SynthWorld {
         self.expected(node).0
     }
 
+    /// Ground-truth checksum for `node` under a differential plan: every
+    /// record's contribution is its value plus [`DiffPlan::stamp`] at the
+    /// record's *current* generation. A correct differential execution —
+    /// one that invalidated every carried entry whose object changed —
+    /// matches this exactly; a stale read cannot.
+    pub fn expected_diff_sum(&self, node: u16, plan: DiffPlan) -> u64 {
+        let mut sum = 0u64;
+        for list in 0..self.lists_per_node {
+            let mut p = self.head(node, list);
+            while !p.is_null() {
+                let r = self.record(p);
+                sum = sum
+                    .wrapping_add(r.value)
+                    .wrapping_add(DiffPlan::stamp(p, plan.gen_of(p)));
+                p = r.next;
+            }
+        }
+        sum
+    }
+
     /// Total records across all owners.
     pub fn total_records(&self) -> usize {
         self.records.iter().map(Vec::len).sum()
@@ -187,6 +207,8 @@ pub struct SynthApp {
     /// Records visited.
     pub visited: u64,
     work_ns: u64,
+    /// Differential-mode change schedule; `None` for single-phase runs.
+    plan: Option<DiffPlan>,
 }
 
 /// A non-blocking thread of the synthetic walk: "visit the record at
@@ -206,6 +228,18 @@ impl SynthApp {
             sum: 0,
             visited: 0,
             work_ns,
+            plan: None,
+        }
+    }
+
+    /// Like [`SynthApp::new`] but value-sensitive for multi-timestep runs:
+    /// each visit folds [`DiffPlan::stamp`] at the generation actually
+    /// read into the checksum, making a stale carried cache entry corrupt
+    /// the digest (see [`SynthWorld::expected_diff_sum`]).
+    pub fn new_diff(world: Arc<SynthWorld>, me: u16, work_ns: u64, plan: DiffPlan) -> SynthApp {
+        SynthApp {
+            plan: Some(plan),
+            ..SynthApp::new(world, me, work_ns)
         }
     }
 }
@@ -228,7 +262,17 @@ impl PtrApp for SynthApp {
         env.assert_readable(work.ptr);
         let rec = *self.world.record(work.ptr);
         env.charge(self.work_ns);
-        self.sum = self.sum.wrapping_add(rec.value);
+        let mut v = rec.value;
+        if let Some(plan) = self.plan {
+            // The generation actually read: the renamed-storage stamp for
+            // fetched/carried copies, the live generation for local (or
+            // adopted) reads. A stale carry surfaces here as an old stamp.
+            let gen = env
+                .cached_generation(work.ptr)
+                .unwrap_or_else(|| plan.gen_of(work.ptr));
+            v = v.wrapping_add(DiffPlan::stamp(work.ptr, gen));
+        }
+        self.sum = self.sum.wrapping_add(v);
         self.visited += 1;
         if !rec.next.is_null() {
             env.demand(rec.next, Walk { ptr: rec.next });
@@ -237,6 +281,13 @@ impl PtrApp for SynthApp {
 
     fn object_size(&self, ptr: GPtr) -> u32 {
         self.world.classes.size(ptr.class())
+    }
+
+    fn object_generation(&self, ptr: GPtr) -> u32 {
+        match self.plan {
+            Some(plan) => plan.gen_of(ptr),
+            None => 0,
+        }
     }
 }
 

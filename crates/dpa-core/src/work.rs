@@ -15,6 +15,71 @@
 
 use global_heap::{ArrivalSet, GPtr, MigrationTable, SoftCache};
 
+/// A deterministic per-object *generation* schedule for multi-timestep
+/// (differential) runs: which objects mutate at which phase.
+///
+/// The simulated worlds are immutable, so "the object changed between
+/// timesteps" is modeled as a pure function of `(object, phase, seed)`:
+/// at each phase boundary, roughly `change_permille`/1000 of all objects
+/// are selected (by a seeded hash) to bump their generation. An object's
+/// generation at phase `t` is the number of boundaries `1..=t` that
+/// selected it — exactly what [`PtrApp::object_generation`] reports, and
+/// what the differential driver diffs at each barrier to decide which
+/// carried cache entries to invalidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiffPlan {
+    /// Seed of the change schedule (shared by every node and phase).
+    pub seed: u64,
+    /// Per-boundary change probability, in permille (0..=1000).
+    pub change_permille: u32,
+    /// The phase this app instance executes (0 = first timestep).
+    pub phase: u32,
+}
+
+impl DiffPlan {
+    /// `true` if boundary `boundary` (1-based) mutates `ptr`.
+    #[inline]
+    fn changes(&self, ptr: GPtr, boundary: u32) -> bool {
+        let mut z = ptr
+            .bits()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.seed)
+            .wrapping_add(boundary as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 1000) < self.change_permille as u64
+    }
+
+    /// Generation of `ptr` at this plan's phase: the number of boundaries
+    /// `1..=phase` whose seeded selection includes it. Phase counts are a
+    /// handful in practice, so the linear scan is free.
+    pub fn gen_of(&self, ptr: GPtr) -> u32 {
+        (1..=self.phase).filter(|&b| self.changes(ptr, b)).count() as u32
+    }
+
+    /// The same plan advanced to `phase`.
+    pub fn at_phase(self, phase: u32) -> DiffPlan {
+        DiffPlan { phase, ..self }
+    }
+
+    /// Order-independent digest contribution of *reading* `ptr` at
+    /// generation `gen`. Value-sensitive applications fold this into their
+    /// checksums (wrapping add, so arrival order cannot matter); because
+    /// the contribution depends on the generation actually read, a stale
+    /// carried cache entry — one whose stamp lags the object's current
+    /// generation — produces a digest that differs from a from-scratch
+    /// run. That is the observable the differential equivalence matrix
+    /// checks.
+    #[inline]
+    pub fn stamp(ptr: GPtr, gen: u32) -> u64 {
+        let mut z = ptr.bits() ^ ((gen as u64) << 33) ^ 0xA076_1D64_78BD_642F;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 /// What a running work item emits for later execution.
 #[derive(Debug)]
 pub enum Emit<W> {
@@ -157,6 +222,22 @@ impl<'a, W> WorkEnv<'a, W> {
         }
     }
 
+    /// The generation stamp the runtime's renamed storage holds for a
+    /// *remote* object it has fetched (or carried across a phase barrier),
+    /// or `None` when the object is not in renamed storage — locally-owned
+    /// objects and the non-DPA availability views land here, and the
+    /// application should fall back to its own current generation. A
+    /// value-sensitive application folds this into its checksum, which is
+    /// what makes a stale carried entry *observable*: a cache entry that
+    /// survived a value change reports the old generation and corrupts the
+    /// digest against a from-scratch run.
+    pub fn cached_generation(&self, ptr: GPtr) -> Option<u32> {
+        match &self.avail {
+            Avail::Arrived(a) => a.generation(ptr),
+            Avail::All | Avail::Cached(_) => None,
+        }
+    }
+
     /// Debug-build honesty check: panic if `ptr` has not been delivered.
     /// Release builds compile this to nothing.
     #[inline]
@@ -213,6 +294,17 @@ pub trait PtrApp: Send {
     fn apply_update(&mut self, ptr: GPtr, value: f64) {
         let _ = value;
         panic!("application does not support remote updates (target {ptr})");
+    }
+
+    /// Current generation of the object `ptr` points to, for differential
+    /// (multi-timestep) runs: the runtime stamps fetched objects with this
+    /// value and the differential driver re-fetches only objects whose
+    /// generation moved between phases. Single-phase applications keep the
+    /// default constant `0` — every carried entry then validates and the
+    /// differential machinery degenerates to a pure carry.
+    fn object_generation(&self, ptr: GPtr) -> u32 {
+        let _ = ptr;
+        0
     }
 }
 

@@ -22,6 +22,7 @@
 //! sequential engine's flush order, which is one of the invariants behind
 //! its bit-identical replay guarantee.
 
+use crate::arena::VecPool;
 use std::collections::VecDeque;
 
 /// Why a batch was emitted.
@@ -49,6 +50,10 @@ pub struct Coalescer<T> {
     /// Destinations with nonempty buffers (kept sorted for deterministic
     /// drain order).
     nonempty: Vec<u16>,
+    /// Recycled batch buffers: every emitted batch is a `Vec` that the
+    /// receiver can hand back via [`Coalescer::recycle`], so steady-state
+    /// flushes never touch the global allocator.
+    pool: VecPool<T>,
 }
 
 impl<T> Coalescer<T> {
@@ -64,6 +69,7 @@ impl<T> Coalescer<T> {
             pushed: 0,
             batches: 0,
             nonempty: Vec::new(),
+            pool: VecPool::new(),
         }
     }
 
@@ -92,7 +98,8 @@ impl<T> Coalescer<T> {
         buf.push_back(item);
         if buf.len() >= self.max_entries {
             self.batches += 1;
-            let batch = buf.drain(..).collect();
+            let mut batch = self.pool.take();
+            batch.extend(self.buffers[dst as usize].drain(..));
             if let Ok(pos) = self.nonempty.binary_search(&dst) {
                 self.nonempty.remove(pos);
             }
@@ -104,15 +111,16 @@ impl<T> Coalescer<T> {
 
     /// Remove and return the pending batch for `dst`, if any.
     pub fn take(&mut self, dst: u16) -> Option<Vec<T>> {
-        let buf = &mut self.buffers[dst as usize];
-        if buf.is_empty() {
+        if self.buffers[dst as usize].is_empty() {
             return None;
         }
         self.batches += 1;
         if let Ok(pos) = self.nonempty.binary_search(&dst) {
             self.nonempty.remove(pos);
         }
-        Some(buf.drain(..).collect())
+        let mut batch = self.pool.take();
+        batch.extend(self.buffers[dst as usize].drain(..));
+        Some(batch)
     }
 
     /// The lowest-numbered destination with buffered items, if any.
@@ -125,13 +133,28 @@ impl<T> Coalescer<T> {
         let dests = std::mem::take(&mut self.nonempty);
         let mut out = Vec::with_capacity(dests.len());
         for dst in dests {
-            let buf = &mut self.buffers[dst as usize];
-            if !buf.is_empty() {
+            if !self.buffers[dst as usize].is_empty() {
                 self.batches += 1;
-                out.push((dst, buf.drain(..).collect()));
+                let mut batch = self.pool.take();
+                batch.extend(self.buffers[dst as usize].drain(..));
+                out.push((dst, batch));
             }
         }
         out
+    }
+
+    /// Return a consumed batch's buffer so its capacity feeds a later
+    /// flush. Callers that receive a payload `Vec` (or got one back from
+    /// [`Coalescer::push`]) hand it here once drained; in steady state the
+    /// emit path then never touches the global allocator.
+    #[inline]
+    pub fn recycle(&mut self, buf: Vec<T>) {
+        self.pool.put(buf);
+    }
+
+    /// Batch buffers currently idle in the recycling pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.idle()
     }
 
     /// Items currently buffered across all destinations.
@@ -192,6 +215,8 @@ pub struct ByteCoalescer<T> {
     pushed_bytes: u64,
     batches: u64,
     nonempty: Vec<u16>,
+    /// Recycled batch buffers (see [`ByteCoalescer::recycle`]).
+    pool: VecPool<T>,
 }
 
 impl<T> ByteCoalescer<T> {
@@ -212,6 +237,7 @@ impl<T> ByteCoalescer<T> {
             pushed_bytes: 0,
             batches: 0,
             nonempty: Vec::new(),
+            pool: VecPool::new(),
         }
     }
 
@@ -237,7 +263,9 @@ impl<T> ByteCoalescer<T> {
         if let Ok(pos) = self.nonempty.binary_search(&dst) {
             self.nonempty.remove(pos);
         }
-        self.buffers[dst as usize].drain(..).collect()
+        let mut batch = self.pool.take();
+        batch.extend(self.buffers[dst as usize].drain(..));
+        batch
     }
 
     /// Append an `item_bytes`-byte `item` for `dst` at time `now`. Returns
@@ -304,10 +332,24 @@ impl<T> ByteCoalescer<T> {
             if !self.buffers[d].is_empty() {
                 self.batches += 1;
                 self.bytes[d] = 0;
-                out.push((dst, self.buffers[d].drain(..).collect()));
+                let mut batch = self.pool.take();
+                batch.extend(self.buffers[d].drain(..));
+                out.push((dst, batch));
             }
         }
         out
+    }
+
+    /// Return a consumed batch's buffer so its capacity feeds a later
+    /// flush (see [`Coalescer::recycle`]).
+    #[inline]
+    pub fn recycle(&mut self, buf: Vec<T>) {
+        self.pool.put(buf);
+    }
+
+    /// Batch buffers currently idle in the recycling pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.idle()
     }
 
     /// Items currently buffered across all destinations.
@@ -551,5 +593,50 @@ mod tests {
     #[should_panic(expected = "aggregation window")]
     fn byte_coalescer_zero_window_rejected() {
         let _ = ByteCoalescer::<u32>::new(1, 100, 0);
+    }
+
+    #[test]
+    fn recycled_batch_capacity_is_reused() {
+        let mut c: Coalescer<u64> = Coalescer::new(2, 4);
+        for i in 0..3u64 {
+            assert!(c.push(0, i).is_none());
+        }
+        let batch = c.push(0, 3).expect("window reached");
+        let cap = batch.capacity();
+        assert!(cap >= 4);
+        c.recycle(batch);
+        assert_eq!(c.pooled(), 1);
+        for i in 0..3u64 {
+            c.push(1, i);
+        }
+        let next = c.push(1, 3).expect("window reached");
+        assert_eq!(next.capacity(), cap, "pooled capacity feeds the next flush");
+        assert_eq!(c.pooled(), 0);
+        assert_eq!(next, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn byte_coalescer_recycles_batches() {
+        let mut c: ByteCoalescer<u32> = ByteCoalescer::new(1, u64::MAX, 2);
+        c.push(0, 1, 8, 0);
+        let mut out = c.push(0, 2, 8, 0);
+        let batch = out.pop().expect("entry window reached");
+        let cap = batch.capacity();
+        c.recycle(batch);
+        assert_eq!(c.pooled(), 1);
+        c.push(0, 3, 8, 1);
+        let next = c.push(0, 4, 8, 1).pop().expect("entry window reached");
+        assert_eq!(next.capacity(), cap);
+        assert_eq!(next, vec![3, 4]);
+    }
+
+    #[test]
+    fn cloned_coalescer_starts_with_fresh_pool() {
+        let mut c: Coalescer<u32> = Coalescer::new(1, 1);
+        let b = c.push(0, 1).expect("immediate emit");
+        c.recycle(b);
+        assert_eq!(c.pooled(), 1);
+        let d = c.clone();
+        assert_eq!(d.pooled(), 0, "clones warm their own pool");
     }
 }

@@ -35,6 +35,16 @@ impl<T> Default for VecPool<T> {
     }
 }
 
+/// Cloning yields an *empty* pool: the free list is an allocator cache,
+/// not data, so a cloned owner simply warms its own. This is what lets
+/// pool-holding structures (the coalescers) keep deriving `Clone` without
+/// requiring `T: Clone`.
+impl<T> Clone for VecPool<T> {
+    fn clone(&self) -> Self {
+        VecPool::new()
+    }
+}
+
 impl<T> VecPool<T> {
     /// Buffers retained when idle; returns beyond this are dropped.
     pub const MAX_FREE: usize = 64;

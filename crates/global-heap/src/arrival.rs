@@ -21,10 +21,13 @@ use std::collections::hash_map::Entry;
 /// Tracks remote objects that have arrived at one node during a phase.
 #[derive(Clone, Debug, Default)]
 pub struct ArrivalSet {
-    /// `ptr -> payload bytes held for it`. Fx-hashed: [`contains`]
-    /// (ArrivalSet::contains) runs once per `Demand` emission, squarely on
-    /// the simulation hot path.
-    set: FxHashMap<GPtr, u32>,
+    /// `ptr -> (payload bytes held, generation stamp)`. Fx-hashed:
+    /// [`contains`](ArrivalSet::contains) runs once per `Demand` emission,
+    /// squarely on the simulation hot path. The generation stamp is the
+    /// object's version at fetch time; differential (multi-timestep) runs
+    /// carry entries across phase barriers and use the stamp to detect —
+    /// and invalidate — copies whose object has since changed.
+    set: FxHashMap<GPtr, (u32, u32)>,
     bytes: u64,
     peak_bytes: u64,
     inserts: u64,
@@ -39,15 +42,21 @@ impl ArrivalSet {
 
     /// Record the arrival of `ptr` carrying `size` payload bytes.
     /// Returns `false` (and changes nothing) if it was already present —
-    /// which indicates a redundant fetch upstream.
+    /// which indicates a redundant fetch upstream. Single-phase callers
+    /// that never version objects stamp generation 0.
     pub fn insert(&mut self, ptr: GPtr, size: u32) -> bool {
+        self.insert_gen(ptr, size, 0)
+    }
+
+    /// [`insert`](ArrivalSet::insert) with an explicit generation stamp.
+    pub fn insert_gen(&mut self, ptr: GPtr, size: u32, gen: u32) -> bool {
         debug_assert!(!ptr.is_null());
         match self.set.entry(ptr) {
             // Keep the first copy's accounting: a duplicate delivery does
             // not grow renamed storage.
             Entry::Occupied(_) => false,
             Entry::Vacant(v) => {
-                v.insert(size);
+                v.insert((size, gen));
                 self.inserts += 1;
                 self.bytes += size as u64;
                 self.peak_bytes = self.peak_bytes.max(self.bytes);
@@ -60,12 +69,32 @@ impl ArrivalSet {
     /// adopted in an earlier phase). Counts bytes but not `total_inserts`,
     /// so per-phase fetch conservation checks stay meaningful.
     pub fn preload(&mut self, ptr: GPtr, size: u32) {
+        self.preload_gen(ptr, size, 0);
+    }
+
+    /// [`preload`](ArrivalSet::preload) with an explicit generation stamp
+    /// (a differential carry seeds entries with the generation they were
+    /// originally fetched at, so a stale carry stays detectable).
+    pub fn preload_gen(&mut self, ptr: GPtr, size: u32, gen: u32) {
         debug_assert!(!ptr.is_null());
         if let Entry::Vacant(v) = self.set.entry(ptr) {
-            v.insert(size);
+            v.insert((size, gen));
             self.bytes += size as u64;
             self.peak_bytes = self.peak_bytes.max(self.bytes);
         }
+    }
+
+    /// The generation stamp of the copy held for `ptr`, if any.
+    #[inline]
+    pub fn generation(&self, ptr: GPtr) -> Option<u32> {
+        self.set.get(&ptr).map(|&(_, gen)| gen)
+    }
+
+    /// Every held entry as `(ptr, size, generation)`, in dense-hash order.
+    /// The differential driver drains this at a phase barrier to build the
+    /// next phase's carry; order-sensitive consumers must sort.
+    pub fn entries(&self) -> impl Iterator<Item = (GPtr, u32, u32)> + '_ {
+        self.set.iter().map(|(&p, &(size, gen))| (p, size, gen))
     }
 
     /// Drop the copy of `ptr` (ownership changed or the copy went stale).
@@ -74,7 +103,7 @@ impl ArrivalSet {
     /// [`insert`](ArrivalSet::insert) of the same pointer is fresh again.
     pub fn invalidate(&mut self, ptr: GPtr) -> bool {
         match self.set.remove(&ptr) {
-            Some(size) => {
+            Some((size, _)) => {
                 self.bytes -= size as u64;
                 self.invalidations += 1;
                 true
@@ -198,6 +227,31 @@ mod tests {
         assert!(a.contains(p(7)));
         assert_eq!(a.bytes(), 64);
         assert_eq!(a.total_inserts(), 2);
+    }
+
+    #[test]
+    fn generation_stamps_round_trip() {
+        let mut a = ArrivalSet::new();
+        assert_eq!(a.generation(p(1)), None);
+        assert!(a.insert_gen(p(1), 64, 3));
+        assert_eq!(a.generation(p(1)), Some(3));
+        // A duplicate delivery keeps the first copy's stamp.
+        assert!(!a.insert_gen(p(1), 64, 9));
+        assert_eq!(a.generation(p(1)), Some(3));
+        // Unstamped inserts are generation 0.
+        assert!(a.insert(p(2), 32));
+        assert_eq!(a.generation(p(2)), Some(0));
+        // Preload with a stamp (the differential carry path).
+        a.preload_gen(p(3), 16, 7);
+        assert_eq!(a.generation(p(3)), Some(7));
+        // Entries expose (ptr, size, gen) for the barrier drain.
+        let mut got: Vec<_> = a.entries().collect();
+        got.sort_by_key(|&(ptr, _, _)| ptr.bits());
+        assert_eq!(got, vec![(p(1), 64, 3), (p(2), 32, 0), (p(3), 16, 7)]);
+        // Invalidate → refetch re-stamps.
+        assert!(a.invalidate(p(1)));
+        assert!(a.insert_gen(p(1), 64, 4));
+        assert_eq!(a.generation(p(1)), Some(4));
     }
 
     #[test]

@@ -201,6 +201,68 @@ proptest! {
         }
     }
 
+    /// Patching the M mapping across a phase barrier is observationally
+    /// equivalent to rebuilding it: after an arbitrary first-phase
+    /// align/release history and a `reset_for_phase`, a second arbitrary
+    /// history drives the patched map through *exactly* the states a
+    /// fresh map would visit — same first-waiter signals, same release
+    /// sets, same live/peak/total counters. The only allowed difference
+    /// is the retained interner (warm dense ids), which is what makes
+    /// differential re-alignment cheap without changing semantics.
+    #[test]
+    fn phase_patched_map_equals_rebuilt_map(
+        seed in any::<u64>(),
+        ops_a in 0usize..200,
+        ops_b in 1usize..200,
+        key_space in 1u64..24,
+        release_p in 0.05f64..0.6,
+    ) {
+        let mut rng = dpa::sim_net::Rng::new(seed);
+        let mut patched: PointerMap<u64> = PointerMap::new();
+        // Phase A: arbitrary history establishing a warm interner and
+        // leftover waiters (carried entries may cover some of them).
+        for op in 0..ops_a as u64 {
+            let ptr = GPtr::new(rng.below(4) as u16, ObjClass(0), rng.below(key_space));
+            if rng.chance(release_p) {
+                patched.release(ptr);
+            } else {
+                patched.align(ptr, op);
+            }
+        }
+        let interned_a = patched.interned();
+        patched.reset_for_phase();
+        prop_assert_eq!(patched.interned(), interned_a, "the interner must survive the barrier");
+        // Phase B: the *same* delta applied to the patched map and to a
+        // rebuilt-from-scratch map must be indistinguishable.
+        let mut rebuilt: PointerMap<u64> = PointerMap::new();
+        for op in 0..ops_b as u64 {
+            let ptr = GPtr::new(rng.below(4) as u16, ObjClass(0), rng.below(key_space));
+            if rng.chance(release_p) {
+                prop_assert_eq!(
+                    patched.release(ptr),
+                    rebuilt.release(ptr),
+                    "release sets diverged after the patch"
+                );
+            } else {
+                prop_assert_eq!(
+                    patched.align(ptr, op),
+                    rebuilt.align(ptr, op),
+                    "first-waiter signal diverged after the patch"
+                );
+            }
+            prop_assert_eq!(patched.live_threads(), rebuilt.live_threads());
+            prop_assert_eq!(patched.keys(), rebuilt.keys());
+            prop_assert_eq!(patched.is_empty(), rebuilt.is_empty());
+            prop_assert_eq!(patched.peak_threads(), rebuilt.peak_threads());
+            prop_assert_eq!(patched.peak_keys(), rebuilt.peak_keys());
+            prop_assert_eq!(patched.total_aligned(), rebuilt.total_aligned());
+        }
+        prop_assert!(
+            patched.interned() >= rebuilt.interned(),
+            "warm ids may only be reused, never forgotten"
+        );
+    }
+
     /// The timing wheel is observationally equal to a binary heap ordered
     /// by the full `(time, tie, src, seq)` event key, under arbitrary
     /// interleavings of near-monotone pushes, pops, and peeks — including
