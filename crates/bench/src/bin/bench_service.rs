@@ -1,0 +1,170 @@
+//! **bench_service** — the multi-tenant run service under a DST job mix.
+//!
+//! Drives a live [`dpa_serve::Service`] (shard pool + pure scheduler)
+//! with a seeded stream of DST jobs — mixed workloads, seeds, fault
+//! plans, four tenants across both priority lanes — and reports the
+//! service-level numbers: per-tenant p50/p99 end-to-end latency and
+//! jobs/second, per priority lane, to `results/BENCH_service.json`.
+//!
+//! Every completed run is audited by the full DST invariant-oracle
+//! battery (via [`bench::service::DstJobRunner`]); the binary asserts
+//! zero violations and conservation over the decision log, so the bench
+//! doubles as an end-to-end correctness check of the service.
+//!
+//! Run with `--smoke` for the CI-sized profile.
+
+use bench::dst::WORKLOADS;
+use bench::service::DstJobRunner;
+use bench::{dump_json, has_flag, ExpPoint};
+use dpa_serve::{
+    check_conservation, check_no_starvation, Admission, JobSpec, Priority, RejectReason,
+    SchedConfig, Service, TenantId,
+};
+use sim_net::{RunStats, Rng};
+use std::time::{Duration, Instant};
+
+/// Fault plans the load mixes in (lossless-heavy so most jobs complete).
+const MIX_PLANS: &[&str] = &["none", "none", "none", "delay", "dup", "drop"];
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let smoke = has_flag("--smoke");
+    let jobs = if smoke { 24 } else { 160 };
+    // Smoke keeps to the cheap single-phase workloads; the full profile
+    // mixes every DST workload, multi-phase and differential included.
+    let workloads: &[&str] = if smoke {
+        &["synth-dpa", "synth-caching", "relax"]
+    } else {
+        WORKLOADS
+    };
+    let cfg = SchedConfig {
+        shards: 4,
+        queue_cap: 32,
+        ..SchedConfig::default()
+    };
+    let shards = cfg.shards;
+    let queue_cap = cfg.queue_cap;
+    println!(
+        "== Run service: {jobs} DST jobs over {shards} shards ({} profile) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let svc = Service::start(cfg.clone(), DstJobRunner::new());
+    let mut rng = Rng::new(0xBE4C_5E4F);
+    let mut rejected = 0u64;
+    let t0 = Instant::now();
+    for i in 0..jobs {
+        // Natural backpressure: hold submissions while the queues are
+        // half full so the bench measures service latency, not a
+        // self-inflicted queueing collapse.
+        loop {
+            let (qi, qb, _) = svc.load();
+            if qi + qb < queue_cap / 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let tenant = TenantId(rng.below(4) as u16);
+        // Tenants 0/1 skew interactive, 2/3 skew batch.
+        let interactive = rng.chance(if tenant.0 < 2 { 0.8 } else { 0.2 });
+        let spec = JobSpec {
+            tenant,
+            priority: if interactive {
+                Priority::Interactive
+            } else {
+                Priority::Batch
+            },
+            workload: workloads[rng.below(workloads.len() as u64) as usize].to_string(),
+            seed: rng.next_u64() % 1_000,
+            plan: MIX_PLANS[rng.below(MIX_PLANS.len() as u64) as usize].to_string(),
+            event_budget: 0,
+        };
+        match svc.submit(spec) {
+            Admission::Accepted(_) => {}
+            Admission::Rejected { reason } => {
+                rejected += 1;
+                assert!(
+                    matches!(reason, RejectReason::QueueFull { .. }),
+                    "unexpected shed reason during paced load: {reason:?} (job {i})"
+                );
+            }
+        }
+    }
+    let report = svc.shutdown();
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Correctness gates: conservation and no-starvation over the decision
+    // log, and a clean oracle verdict on every completed run.
+    let conservation = check_conservation(&report.log);
+    assert!(conservation.is_empty(), "conservation: {conservation:?}");
+    let starvation = check_no_starvation(&report.log, &cfg);
+    assert!(starvation.is_empty(), "no-starvation: {starvation:?}");
+    let oracle_violations: u64 = report.jobs.iter().map(|j| j.report.violations).sum();
+    assert_eq!(oracle_violations, 0, "invariant oracles flagged completed runs");
+
+    let finished = report.jobs.len() as u64;
+    let completed = report.jobs.iter().filter(|j| j.report.completed).count() as u64;
+    let jobs_per_sec = finished as f64 / wall.max(1e-9);
+    println!(
+        "finished {finished} (completed {completed}, shed {rejected}) in {wall:.2}s \
+         => {jobs_per_sec:.1} jobs/s\n"
+    );
+    println!("tenant lane          jobs   p50_ms   p99_ms");
+
+    let mut points = Vec::new();
+    for t in 0..4u16 {
+        for lane in Priority::ALL {
+            let mut lats: Vec<u64> = report
+                .jobs
+                .iter()
+                .filter(|j| j.tenant == TenantId(t) && j.priority == lane)
+                .map(|j| j.latency_ns)
+                .collect();
+            lats.sort_unstable();
+            let (p50, p99) = (percentile(&lats, 0.50), percentile(&lats, 0.99));
+            println!(
+                "  {t}    {:<12} {:>5} {:>8.2} {:>8.2}",
+                lane.name(),
+                lats.len(),
+                p50 as f64 / 1e6,
+                p99 as f64 / 1e6,
+            );
+            points.push(
+                ExpPoint::new(
+                    "bench_service",
+                    "dst-mix",
+                    &format!("tenant{t}-{}", lane.name()),
+                    shards as u16,
+                    (wall * 1e9) as u64,
+                    &RunStats::default(),
+                )
+                .with("jobs", lats.len() as f64)
+                .with("p50_latency_ms", p50 as f64 / 1e6)
+                .with("p99_latency_ms", p99 as f64 / 1e6)
+                .with("jobs_per_sec_total", jobs_per_sec)
+                .with("rejected_total", rejected as f64)
+                .with("smoke", if smoke { 1.0 } else { 0.0 }),
+            );
+        }
+    }
+    println!("\nledger (tenant: completed/reaped/stalled, sim events, msgs):");
+    for (t, u) in &report.ledger {
+        println!(
+            "  {}: {}/{}/{}  {} ev  {} msgs",
+            t.0,
+            u.completed,
+            u.reaped,
+            u.stalled,
+            u.sim_events,
+            u.request_msgs + u.reply_msgs + u.update_msgs,
+        );
+    }
+    dump_json("BENCH_service", &points);
+}

@@ -158,6 +158,14 @@ pub struct Outcome {
     pub snaps: Vec<NodeSnapshot>,
     /// Stall diagnoses ("" when none).
     pub stalls: String,
+    /// Simulator events processed (summed over phases) — what the run
+    /// service bills to the tenant's event budget.
+    pub events: u64,
+    /// `true` when (any phase of) the run was stopped by the
+    /// [`DstOptions::max_events`] guard rather than reaching quiescence.
+    pub budget_exhausted: bool,
+    /// Simulated makespan in nanoseconds (summed over phases).
+    pub makespan_ns: u64,
 }
 
 /// Every observable bit of an [`Outcome`], in comparable form — shared by
@@ -211,12 +219,32 @@ fn mig_outcome(
         digest,
         snaps: snap_sets.into_iter().flatten().collect(),
         stalls,
+        events: reports.iter().map(|r| r.events_processed).sum(),
+        budget_exhausted: reports.iter().any(|r| r.budget_exhausted),
+        makespan_ns: reports.iter().map(|r| r.makespan().as_ns()).sum(),
     }
 }
 
-fn merge(report: &RunReport, mut snaps: Vec<NodeSnapshot>, extra: (RunReport, Vec<NodeSnapshot>))
-    -> (bool, u64, Vec<NodeSnapshot>, String)
-{
+/// [`Outcome`] of a single-phase run.
+fn one_outcome(report: RunReport, snaps: Vec<NodeSnapshot>, digest: Digest) -> Outcome {
+    Outcome {
+        completed: report.completed,
+        dropped: report.stats.dropped_packets,
+        digest,
+        stalls: report.stall_summary(),
+        snaps,
+        events: report.events_processed,
+        budget_exhausted: report.budget_exhausted,
+        makespan_ns: report.makespan().as_ns(),
+    }
+}
+
+fn merge(
+    report: &RunReport,
+    mut snaps: Vec<NodeSnapshot>,
+    extra: (RunReport, Vec<NodeSnapshot>),
+    digest: Digest,
+) -> Outcome {
     let (r2, s2) = extra;
     snaps.extend(s2);
     let stalls = [report.stall_summary(), r2.stall_summary()]
@@ -225,12 +253,16 @@ fn merge(report: &RunReport, mut snaps: Vec<NodeSnapshot>, extra: (RunReport, Ve
         .cloned()
         .collect::<Vec<_>>()
         .join("; ");
-    (
-        report.completed && r2.completed,
-        report.stats.dropped_packets + r2.stats.dropped_packets,
+    Outcome {
+        completed: report.completed && r2.completed,
+        dropped: report.stats.dropped_packets + r2.stats.dropped_packets,
+        digest,
         snaps,
         stalls,
-    )
+        events: report.events_processed + r2.events_processed,
+        budget_exhausted: report.budget_exhausted || r2.budget_exhausted,
+        makespan_ns: report.makespan().as_ns() + r2.makespan().as_ns(),
+    }
 }
 
 /// Execute one `(workload, options)` run and collect its outcome.
@@ -322,13 +354,7 @@ pub fn run_one_mode(w: &Worlds, workload: &str, opts: &DstOptions, differential:
                 |i| SynthApp::new(world.clone(), i, 500),
                 |i, app: &SynthApp| sums[i as usize] = app.sum,
             );
-            Outcome {
-                completed: report.completed,
-                dropped: report.stats.dropped_packets,
-                digest: Digest::Ints(sums),
-                stalls: report.stall_summary(),
-                snaps,
-            }
+            one_outcome(report, snaps, Digest::Ints(sums))
         }
         "bh" => {
             let world = w.bh.clone();
@@ -350,13 +376,7 @@ pub fn run_one_mode(w: &Worlds, workload: &str, opts: &DstOptions, differential:
                     }
                 },
             );
-            Outcome {
-                completed: report.completed,
-                dropped: report.stats.dropped_packets,
-                digest: Digest::Floats(accel),
-                stalls: report.stall_summary(),
-                snaps,
-            }
+            one_outcome(report, snaps, Digest::Floats(accel))
         }
         "fmm" => {
             let world = w.fmm.clone();
@@ -373,13 +393,7 @@ pub fn run_one_mode(w: &Worlds, workload: &str, opts: &DstOptions, differential:
             );
             if !r1.completed {
                 // Phase 2 input is incomplete; report the phase-1 stall.
-                return Outcome {
-                    completed: false,
-                    dropped: r1.stats.dropped_packets,
-                    digest: Digest::Floats(Vec::new()),
-                    stalls: r1.stall_summary(),
-                    snaps: s1,
-                };
+                return one_outcome(r1, s1, Digest::Floats(Vec::new()));
             }
             // Sub-phase 2: downward + evaluation.
             let n = world.solver.zs.len();
@@ -403,14 +417,7 @@ pub fn run_one_mode(w: &Worlds, workload: &str, opts: &DstOptions, differential:
                     }
                 },
             );
-            let (completed, dropped, snaps, stalls) = merge(&r1, s1, extra);
-            Outcome {
-                completed,
-                dropped,
-                digest: Digest::Floats(fields),
-                snaps,
-                stalls,
-            }
+            merge(&r1, s1, extra, Digest::Floats(fields))
         }
         "relax" => {
             let world = w.relax.clone();
@@ -428,13 +435,7 @@ pub fn run_one_mode(w: &Worlds, workload: &str, opts: &DstOptions, differential:
                     }
                 },
             );
-            Outcome {
-                completed: report.completed,
-                dropped: report.stats.dropped_packets,
-                digest: Digest::Floats(next),
-                stalls: report.stall_summary(),
-                snaps,
-            }
+            one_outcome(report, snaps, Digest::Floats(next))
         }
         "synth-mig" => {
             let world = w.synth.clone();
@@ -463,13 +464,7 @@ pub fn run_one_mode(w: &Worlds, workload: &str, opts: &DstOptions, differential:
                 |i| SynthApp::new(world.clone(), i, 500),
                 |i, app: &SynthApp| sums[i as usize] = app.sum,
             );
-            Outcome {
-                completed: report.completed,
-                dropped: report.stats.dropped_packets,
-                digest: Digest::Ints(sums),
-                stalls: report.stall_summary(),
-                snaps,
-            }
+            one_outcome(report, snaps, Digest::Ints(sums))
         }
         "bh-adapt" => {
             let world = w.bh.clone();
@@ -656,10 +651,6 @@ pub fn replay_with_threads(path: &str, threads: usize) -> i32 {
         eprintln!("error: {path}: missing `workload = ...` line");
         return 2;
     };
-    if !WORKLOADS.contains(&workload.as_str()) {
-        eprintln!("error: {path}: unknown workload {workload:?} (expected one of {WORKLOADS:?})");
-        return 2;
-    }
     let seed: u64 = match fields.get("seed").map(|s| s.parse()) {
         Some(Ok(s)) => s,
         Some(Err(e)) => {
@@ -671,6 +662,37 @@ pub fn replay_with_threads(path: &str, threads: usize) -> i32 {
             return 2;
         }
     };
+    // `workload = service` cases replay the run-service scheduler model
+    // instead of a simulator run: the case names a scenario (a canned
+    // (config, load profile) pair) plus the seed. Scheduler decisions are
+    // engine-independent, so the threads knob is ignored here.
+    if workload == "service" {
+        let Some(name) = fields.get("scenario") else {
+            eprintln!("error: {path}: missing `scenario = ...` line for a service case");
+            return 2;
+        };
+        println!("replaying service scenario={name} seed={seed}");
+        return match dpa_serve::replay_scenario(name, seed) {
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                2
+            }
+            Ok(v) if v.is_empty() => {
+                println!("  no violations — case no longer reproduces");
+                0
+            }
+            Ok(v) => {
+                for violation in &v {
+                    println!("  VIOLATION: {violation}");
+                }
+                1
+            }
+        };
+    }
+    if !WORKLOADS.contains(&workload.as_str()) {
+        eprintln!("error: {path}: unknown workload {workload:?} (expected one of {WORKLOADS:?})");
+        return 2;
+    }
     let Some(plan) = fields.get("plan") else {
         eprintln!("error: {path}: missing `plan = ...` line");
         return 2;

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod dst;
+pub mod service;
 
 use apps::bh_dist::{BhCost, BhWorld};
 use apps::fmm_dist::{FmmCost, FmmWorld};

@@ -33,6 +33,7 @@ fn opts(plan: &str, seed: u64, queue: QueueKind) -> DstOptions {
         faults: plan_for(plan, seed),
         threads: 1,
         queue,
+        max_events: u64::MAX,
     }
 }
 

@@ -97,6 +97,11 @@ pub struct DstOptions {
     /// environment variable, so a whole sweep can be flipped to the
     /// shadow heap from the outside.
     pub queue: QueueKind,
+    /// Hard cap on events processed per machine run ([`Machine::max_events`];
+    /// `u64::MAX` = unlimited, the default). When the cap is hit the run
+    /// stops with a structured `budget_exhausted` stall instead of spinning
+    /// — the run-service shards use this to reap runaway jobs.
+    pub max_events: u64,
 }
 
 impl Default for DstOptions {
@@ -106,6 +111,7 @@ impl Default for DstOptions {
             faults: FaultPlan::default(),
             threads: sim_net::env_threads(),
             queue: sim_net::env_queue(),
+            max_events: u64::MAX,
         }
     }
 }
@@ -137,6 +143,7 @@ pub fn run_phase_dst<A: PtrApp>(
             if let Some(seed) = opts.schedule_seed {
                 m.perturb_schedule(seed);
             }
+            m.max_events = opts.max_events;
             let report = m.run_threads(opts.threads);
             let mut snaps = Vec::with_capacity(nodes as usize);
             for i in 0..nodes {
@@ -156,6 +163,7 @@ pub fn run_phase_dst<A: PtrApp>(
             if let Some(seed) = opts.schedule_seed {
                 m.perturb_schedule(seed);
             }
+            m.max_events = opts.max_events;
             let report = m.run_threads(opts.threads);
             let mut snaps = Vec::with_capacity(nodes as usize);
             for i in 0..nodes {
@@ -252,6 +260,12 @@ pub fn run_phase_migrating<A: PtrApp>(
     let mut strip_ctls: Option<Vec<StripController>> = None;
     let mut reports = Vec::with_capacity(phases);
     let mut all_snaps = Vec::with_capacity(phases);
+    // One machine serves every phase: after the first, `Machine::reset`
+    // hands it the next phase's procs while retaining the timing wheel's
+    // warmed bucket pool — bit-identical to a fresh machine (the reset
+    // regression tests and every equivalence sweep pin this down), which
+    // is also what lets a run-service shard reuse its machine between jobs.
+    let mut machine: Option<Machine<DpaProc<A>>> = None;
     for phase in 0..phases {
         let mut procs: Vec<_> = (0..nodes)
             .map(|i| DpaProc::new(mk(phase, i), nodes as usize, cfg.clone()))
@@ -266,13 +280,20 @@ pub fn run_phase_migrating<A: PtrApp>(
                 p.set_strip_controller(c);
             }
         }
-        let mut m = Machine::new(procs, net.clone());
+        let mut m = match machine.take() {
+            None => Machine::new(procs, net.clone()),
+            Some(mut m) => {
+                m.reset(procs);
+                m
+            }
+        };
         m.set_queue_kind(opts.queue);
         m.set_faults(opts.faults.clone());
         if let Some(seed) = opts.schedule_seed {
             // Vary the perturbation per phase, deterministically.
             m.perturb_schedule(seed.wrapping_add(phase as u64));
         }
+        m.max_events = opts.max_events;
         reports.push(m.run_threads(opts.threads));
         let mut snaps = Vec::with_capacity(nodes as usize);
         for i in 0..nodes {
@@ -325,6 +346,7 @@ pub fn run_phase_migrating<A: PtrApp>(
             }
             tables = Some(taken);
         }
+        machine = Some(m);
     }
     (reports, all_snaps, tables.unwrap_or_default())
 }
@@ -396,6 +418,8 @@ pub fn run_phase_differential<A: PtrApp>(
     let mut moved: FxHashSet<GPtr> = FxHashSet::default();
     let mut reports = Vec::with_capacity(phases);
     let mut all_snaps = Vec::with_capacity(phases);
+    // Same machine-reuse discipline as `run_phase_migrating`.
+    let mut machine: Option<Machine<DpaProc<A>>> = None;
     for phase in 0..phases {
         let mut procs: Vec<_> = (0..nodes)
             .map(|i| DpaProc::new(mk(phase, i), nodes as usize, cfg.clone()))
@@ -465,12 +489,19 @@ pub fn run_phase_differential<A: PtrApp>(
             }
         }
         moved.clear();
-        let mut m = Machine::new(procs, net.clone());
+        let mut m = match machine.take() {
+            None => Machine::new(procs, net.clone()),
+            Some(mut m) => {
+                m.reset(procs);
+                m
+            }
+        };
         m.set_queue_kind(opts.queue);
         m.set_faults(opts.faults.clone());
         if let Some(seed) = opts.schedule_seed {
             m.perturb_schedule(seed.wrapping_add(phase as u64));
         }
+        m.max_events = opts.max_events;
         reports.push(m.run_threads(opts.threads));
         let mut snaps = Vec::with_capacity(nodes as usize);
         for i in 0..nodes {
@@ -533,6 +564,7 @@ pub fn run_phase_differential<A: PtrApp>(
                     .collect(),
             );
         }
+        machine = Some(m);
     }
     (reports, all_snaps, tables.unwrap_or_default())
 }

@@ -1,0 +1,104 @@
+//! Per-tenant accounting: admission counters plus metered usage.
+//!
+//! The ledger is a plain ordered map so iteration (and therefore every
+//! report derived from it) is deterministic. It records, it does not
+//! decide — budget *enforcement* lives in the scheduler, which consults
+//! [`TenantLedger::usage`] at admission time.
+
+use crate::types::{JobReport, TenantId};
+use std::collections::BTreeMap;
+
+/// Everything billed to one tenant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Total submissions (accepted + rejected).
+    pub submitted: u64,
+    /// Submissions admitted to a queue.
+    pub accepted: u64,
+    /// Submissions shed with a structured reason.
+    pub rejected: u64,
+    /// Jobs that ran to quiescence.
+    pub completed: u64,
+    /// Jobs reaped on event-budget exhaustion.
+    pub reaped: u64,
+    /// Jobs that stalled for another reason (e.g. lossy fault plan).
+    pub stalled: u64,
+    /// Jobs currently queued or running.
+    pub outstanding: u64,
+    /// Simulator events billed across all finished jobs.
+    pub sim_events: u64,
+    /// Wall-clock nanoseconds billed across all finished jobs.
+    pub wall_ns: u64,
+    /// Alignment-request messages billed (PR-2 per-path stats).
+    pub request_msgs: u64,
+    /// Reply messages billed.
+    pub reply_msgs: u64,
+    /// Update messages billed.
+    pub update_msgs: u64,
+}
+
+/// The service's account book, keyed by tenant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantLedger {
+    accounts: BTreeMap<TenantId, TenantUsage>,
+}
+
+impl TenantLedger {
+    /// Fresh, empty ledger.
+    pub fn new() -> TenantLedger {
+        TenantLedger::default()
+    }
+
+    /// Current usage for `tenant` (zeroes when unseen).
+    pub fn usage(&self, tenant: TenantId) -> TenantUsage {
+        self.accounts.get(&tenant).cloned().unwrap_or_default()
+    }
+
+    fn entry(&mut self, tenant: TenantId) -> &mut TenantUsage {
+        self.accounts.entry(tenant).or_default()
+    }
+
+    /// Record an admitted submission.
+    pub fn note_admit(&mut self, tenant: TenantId) {
+        let u = self.entry(tenant);
+        u.submitted += 1;
+        u.accepted += 1;
+        u.outstanding += 1;
+    }
+
+    /// Record a shed submission.
+    pub fn note_reject(&mut self, tenant: TenantId) {
+        let u = self.entry(tenant);
+        u.submitted += 1;
+        u.rejected += 1;
+    }
+
+    /// Record a finished job and bill its usage.
+    pub fn note_finish(&mut self, tenant: TenantId, report: &JobReport) {
+        let u = self.entry(tenant);
+        debug_assert!(u.outstanding > 0, "finish without outstanding job");
+        u.outstanding = u.outstanding.saturating_sub(1);
+        if report.completed {
+            u.completed += 1;
+        } else if report.budget_exhausted {
+            u.reaped += 1;
+        } else {
+            u.stalled += 1;
+        }
+        u.sim_events += report.sim_events;
+        u.wall_ns += report.wall_ns;
+        u.request_msgs += report.request_msgs;
+        u.reply_msgs += report.reply_msgs;
+        u.update_msgs += report.update_msgs;
+    }
+
+    /// Deterministic (tenant-ordered) iteration over all accounts.
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, &TenantUsage)> {
+        self.accounts.iter().map(|(t, u)| (*t, u))
+    }
+
+    /// Number of tenants with any recorded activity.
+    pub fn tenants(&self) -> usize {
+        self.accounts.len()
+    }
+}

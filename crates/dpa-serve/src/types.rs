@@ -1,0 +1,159 @@
+//! Request/response types for the run service.
+
+/// A paying (or at least metered) customer of the run service. Tenants are
+/// small dense integers so the ledger can stay an ordered map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u16);
+
+/// Priority lane a job is submitted to.
+///
+/// `Interactive` jobs are latency-sensitive (a user is waiting on the
+/// result); `Batch` jobs are throughput work (sweeps, corpus replays).
+/// The scheduler gives interactive the larger pick weight but ages the
+/// batch head so sustained interactive load cannot starve batch forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive lane; preferred by the weighted pick.
+    Interactive,
+    /// Throughput lane; protected from starvation by head aging.
+    Batch,
+}
+
+impl Priority {
+    /// Dense lane index (`Interactive` = 0, `Batch` = 1).
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+        }
+    }
+
+    /// All lanes, in lane-index order.
+    pub const ALL: [Priority; 2] = [Priority::Interactive, Priority::Batch];
+
+    /// Lane name for reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// One run request: which DST workload to run, under which seed and fault
+/// plan, on whose account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Account the job is billed to.
+    pub tenant: TenantId,
+    /// Priority lane.
+    pub priority: Priority,
+    /// DST workload name (see `bench::dst::WORKLOADS`); the scheduler
+    /// treats it as an opaque label.
+    pub workload: String,
+    /// Sweep seed: drives both the schedule perturbation and the fault
+    /// plan of the run.
+    pub seed: u64,
+    /// Fault-plan name (see `bench::dst::ALL_PLANS`), opaque to the
+    /// scheduler.
+    pub plan: String,
+    /// Per-job event budget; `0` means "use the service default"
+    /// ([`crate::SchedConfig::job_event_budget`]). A run that exhausts the
+    /// budget stops with a structured `budget_exhausted` stall and is
+    /// reaped, never leaked.
+    pub event_budget: u64,
+}
+
+/// Handle for an accepted job, unique within one scheduler's lifetime and
+/// assigned in admission order (so logs sort naturally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+/// Why a submission was turned away. Every reject is structured and
+/// immediate — the service sheds load, it never hangs a caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The lane's bounded queue is at capacity.
+    QueueFull {
+        /// Lane that was full.
+        lane: Priority,
+        /// Depth observed at admission time.
+        depth: usize,
+        /// Configured capacity ([`crate::SchedConfig::queue_cap`]).
+        cap: usize,
+    },
+    /// The tenant already has too many queued + running jobs.
+    TenantOutstanding {
+        /// Jobs currently queued or running for the tenant.
+        outstanding: u64,
+        /// Configured cap ([`crate::SchedConfig::tenant_outstanding_cap`]).
+        cap: u64,
+    },
+    /// The tenant's simulated-event budget is spent.
+    TenantEventBudget {
+        /// Events already billed to the tenant.
+        spent: u64,
+        /// Configured budget ([`crate::SchedConfig::tenant_event_budget`]).
+        budget: u64,
+    },
+    /// The tenant's wall-clock budget is spent.
+    TenantWallBudget {
+        /// Wall nanoseconds already billed to the tenant.
+        spent_ns: u64,
+        /// Configured budget ([`crate::SchedConfig::tenant_wall_budget_ns`]).
+        budget_ns: u64,
+    },
+    /// The service is draining toward shutdown.
+    ShuttingDown,
+}
+
+/// Synchronous answer to a submission: either a handle or a structured
+/// reason, never a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// The job is queued (or already placed); track it by this id.
+    Accepted(JobId),
+    /// The job was shed.
+    Rejected {
+        /// Why it was shed.
+        reason: RejectReason,
+    },
+}
+
+impl Admission {
+    /// The job id, if accepted.
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            Admission::Accepted(id) => Some(*id),
+            Admission::Rejected { .. } => None,
+        }
+    }
+}
+
+/// What a shard reports back when a job finishes (by any means). The
+/// per-path message counts come from the PR-2 runtime stats and feed the
+/// tenant ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobReport {
+    /// Every node reached quiescence.
+    pub completed: bool,
+    /// The run hit its event budget and was stopped (reaped, not leaked).
+    pub budget_exhausted: bool,
+    /// Simulator events processed.
+    pub sim_events: u64,
+    /// Simulated makespan in nanoseconds.
+    pub sim_makespan_ns: u64,
+    /// Alignment-request messages sent (billed path).
+    pub request_msgs: u64,
+    /// Reply messages sent (billed path).
+    pub reply_msgs: u64,
+    /// Fire-and-forget update messages sent (billed path).
+    pub update_msgs: u64,
+    /// Invariant-oracle violations observed on the run (0 for a healthy
+    /// service; any non-zero count is surfaced, never swallowed).
+    pub violations: u64,
+    /// Wall-clock nanoseconds the shard spent on the job.
+    pub wall_ns: u64,
+    /// Stall diagnosis, empty when none.
+    pub stall: String,
+}

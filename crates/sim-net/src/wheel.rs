@@ -279,6 +279,25 @@ impl<T: WheelItem> TimingWheel<T> {
         }
     }
 
+    /// Empty the wheel and rewind its cursor to time zero, recycling every
+    /// bucket's storage through the pool. After `reset` the wheel behaves
+    /// exactly like [`TimingWheel::new`] — the only difference is that the
+    /// bucket-vector pool keeps its warmed capacity, which is the point:
+    /// a shard running back-to-back jobs never rebuilds the ring.
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            if !slot.items.is_empty() {
+                slot.items.clear();
+                self.pool.put(std::mem::take(&mut slot.items));
+            }
+            slot.abs = 0;
+            slot.sorted = true;
+        }
+        self.cursor = 0;
+        self.in_ring = 0;
+        self.overflow.clear();
+    }
+
     /// Move every overflow item whose bucket entered the window into the
     /// ring. The heap yields items in ascending key order, so this pops
     /// exactly the due prefix — `O(k log n)` for `k` migrated items.
@@ -413,6 +432,34 @@ mod tests {
         w.for_each(|i| seen.push(i.0.seq));
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn reset_behaves_like_fresh() {
+        let horizon = (WHEEL_SLOTS as u64) << WHEEL_SHIFT;
+        let mut w: TimingWheel<Item> = TimingWheel::new();
+        // Advance the cursor deep into the ring, leave items in both the
+        // ring and the overflow, then reset: the wheel must accept and
+        // order a from-zero stream exactly like a fresh wheel.
+        w.push(k(5 * horizon / 2, 0, 0, 0));
+        assert_eq!(w.pop().unwrap().0.seq, 0);
+        w.push(k(3 * horizon, 0, 0, 1)); // lands in ring ahead of cursor
+        w.push(k(30 * horizon, 0, 0, 2)); // overflow
+        assert_eq!(w.len(), 2);
+        w.reset();
+        assert!(w.is_empty());
+        let mut fresh: TimingWheel<Item> = TimingWheel::new();
+        for item in [k(700, 1, 0, 3), k(700, 0, 1, 4), k(10, 0, 0, 5), k(40 * horizon, 0, 0, 6)] {
+            w.push(item);
+            fresh.push(item);
+        }
+        loop {
+            let (a, b) = (w.pop(), fresh.pop());
+            assert_eq!(a.map(|i| i.0), b.map(|i| i.0), "reset wheel diverged from fresh");
+            if b.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 pub use apps;
 pub use dpa_compiler as compiler;
 pub use dpa_core as runtime;
+pub use dpa_serve as serve;
 pub use fastmsg;
 pub use global_heap;
 pub use nbody;
