@@ -1,0 +1,503 @@
+//! Pointer-chasing graph analytics: semi-naive transitive closure over a
+//! mutable, skewed edge graph — the adversarial workload family.
+//!
+//! Every other workload in the repo is an n-body tree: octree locality,
+//! balanced fan-out, read-mostly caches — exactly the regime the 1997
+//! paper tuned for. This application is the opposite on purpose
+//! (Graspan-style dataflow reachability): the PBDS is an edge graph with a
+//! **power-law degree distribution** (configurable skew exponent), so a
+//! handful of hub vertices are read by nearly every traversal while the
+//! tail is touched once, and there is no spatial locality for placement to
+//! exploit. Hubs additionally carry outsized records (their out-edge
+//! lists), so a single hot key produces multi-MTU replies with fan-out to
+//! every node — the stress case for dominant-consumer migration and
+//! owner-side reply aggregation.
+//!
+//! The graph is *structurally mutable across phases*: at each phase
+//! boundary a seeded subset of vertices is rewired (their out-edge lists
+//! resampled), and [`GraphWorld::gen_at`] reports how many boundaries
+//! rewired each vertex. That is what [`PtrApp::object_generation`] returns,
+//! so `run_phase_differential` sees *structural* deltas — carried copies of
+//! rewired vertices must be invalidated, not just `DiffPlan` value stamps.
+//!
+//! Each node runs one BFS per locally-owned root vertex. Expanding a
+//! vertex requires its (potentially remote) record — one labeled demand
+//! per `(root, vertex)` pair, marked visited at emission time so every
+//! pair is expanded exactly once regardless of schedule. The checksum
+//! folds [`DiffPlan::stamp`]`(ptr, generation-read)` with a wrapping add:
+//! order-independent, but a stale carried entry (old generation) corrupts
+//! it against the sequential oracle.
+
+use crate::error::WorldError;
+use dpa_core::{DiffPlan, PtrApp, WorkEnv};
+use global_heap::{ClassTable, GPtr, ObjClass};
+use sim_net::Rng;
+use std::sync::Arc;
+
+/// Per-operation costs of the traversal, ns.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphCost {
+    /// Per-vertex expansion (scan the out-list, test the visited set).
+    pub expand_ns: u64,
+    /// Per-edge bookkeeping inside an expansion.
+    pub edge_ns: u64,
+    /// Per-root setup.
+    pub root_ns: u64,
+}
+
+impl Default for GraphCost {
+    fn default() -> Self {
+        GraphCost {
+            expand_ns: 600,
+            edge_ns: 150,
+            root_ns: 400,
+        }
+    }
+}
+
+/// Generator + schedule parameters for [`GraphWorld`].
+#[derive(Clone, Copy, Debug)]
+pub struct GraphParams {
+    /// Vertex count.
+    pub n: usize,
+    /// Machine size (contiguous even vertex partition).
+    pub nodes: u16,
+    /// Base out-degree of every vertex.
+    pub degree: usize,
+    /// Power-law skew exponent: edge targets are drawn with probability
+    /// ∝ 1/(v+1)^skew, so vertex 0 is the hottest hub. 0.0 = uniform.
+    pub skew: f64,
+    /// Extra out-edges granted to low-id vertices, decaying with the same
+    /// exponent: vertex v gets `hub_extra / (v+1)^skew` additional edges.
+    /// This is what makes hub *records* big (multi-MTU replies).
+    pub hub_extra: usize,
+    /// Number of timestep phases the world carries adjacency for.
+    pub phases: u32,
+    /// Per-boundary structural-change probability, permille: at each phase
+    /// boundary this fraction of vertices has its out-list resampled.
+    pub rewire_permille: u32,
+    /// Every `root_stride`-th owned vertex roots a traversal (≥ 1).
+    pub root_stride: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for GraphParams {
+    fn default() -> Self {
+        GraphParams {
+            n: 128,
+            nodes: 4,
+            degree: 3,
+            skew: 1.6,
+            hub_extra: 24,
+            phases: 4,
+            rewire_permille: 120,
+            root_stride: 4,
+            seed: 0x6EA9,
+        }
+    }
+}
+
+/// The shared graph world: per-phase adjacency snapshots plus the seeded
+/// rewire schedule that produced them.
+pub struct GraphWorld {
+    /// Parameters the world was built from.
+    pub params: GraphParams,
+    /// `adj[phase][v]` = out-neighbors of `v` during `phase`.
+    adj: Vec<Vec<Vec<u32>>>,
+    /// `splits[i]..splits[i+1]` = node `i`'s vertices.
+    pub splits: Vec<usize>,
+    /// Cost model.
+    pub cost: GraphCost,
+    /// Object classes (one: VERTEX).
+    pub classes: ClassTable,
+    /// The vertex object class.
+    pub vclass: ObjClass,
+}
+
+/// Splitmix-style hash used by the rewire schedule (pure in its inputs, so
+/// every node and every engine agrees without communication).
+#[inline]
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(c);
+    z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl GraphWorld {
+    /// Build the world, panicking on invalid parameters.
+    pub fn build(params: GraphParams) -> Arc<GraphWorld> {
+        Self::try_build(params).expect("invalid GraphWorld configuration")
+    }
+
+    /// Fallible [`GraphWorld::build`]: rejects an empty machine, an empty
+    /// graph, or a graph smaller than the machine.
+    pub fn try_build(params: GraphParams) -> Result<Arc<GraphWorld>, WorldError> {
+        if params.nodes == 0 {
+            return Err(WorldError::NoNodes);
+        }
+        if params.n == 0 {
+            return Err(WorldError::Empty { what: "vertices" });
+        }
+        if params.n < params.nodes as usize {
+            return Err(WorldError::TooFewElements {
+                what: "vertices",
+                have: params.n,
+                nodes: params.nodes,
+            });
+        }
+        let n = params.n;
+        let splits = nbody::morton::even_splits(n, params.nodes as usize);
+        // Cumulative power-law weights: target v with prob ∝ 1/(v+1)^skew.
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for v in 0..n {
+            total += ((v + 1) as f64).powf(-params.skew);
+            cum.push(total);
+        }
+        let degree_of = |v: usize| -> usize {
+            params.degree + (params.hub_extra as f64 * ((v + 1) as f64).powf(-params.skew)) as usize
+        };
+        let sample_list = |rng: &mut Rng, v: usize| -> Vec<u32> {
+            let deg = degree_of(v);
+            let mut out = Vec::with_capacity(deg);
+            for _ in 0..deg {
+                let r = rng.unit_f64() * total;
+                let mut t = cum.partition_point(|&c| c < r).min(n - 1);
+                if t == v {
+                    t = (t + 1) % n; // no self-loops
+                }
+                out.push(t as u32);
+            }
+            out
+        };
+        // Phase-0 adjacency from the master stream; later phases patch the
+        // seeded rewire set, each rewired list from its own (seed, v, b)
+        // stream so nothing depends on visit order.
+        let mut rng = Rng::new(params.seed);
+        let mut adj = Vec::with_capacity(params.phases.max(1) as usize);
+        adj.push((0..n).map(|v| sample_list(&mut rng, v)).collect::<Vec<_>>());
+        for b in 1..params.phases.max(1) {
+            let prev: Vec<Vec<u32>> = adj[b as usize - 1].clone();
+            let mut next = prev;
+            for (v, list) in next.iter_mut().enumerate() {
+                if Self::rewired(params.seed, params.rewire_permille, b, v) {
+                    let mut vr = Rng::new(mix(params.seed, v as u64, b as u64));
+                    *list = sample_list(&mut vr, v);
+                }
+            }
+            adj.push(next);
+        }
+        let mut classes = ClassTable::new();
+        let vclass = classes.register("graph_vertex", 48);
+        Ok(Arc::new(GraphWorld {
+            params,
+            adj,
+            splits,
+            cost: GraphCost::default(),
+            classes,
+            vclass,
+        }))
+    }
+
+    /// `true` if boundary `b` (1-based) resamples vertex `v`'s out-list.
+    #[inline]
+    fn rewired(seed: u64, permille: u32, b: u32, v: usize) -> bool {
+        mix(seed ^ 0x5712_0C7A, b as u64, v as u64) % 1000 < permille as u64
+    }
+
+    /// Structural generation of vertex `v` at `phase`: how many boundaries
+    /// `1..=phase` rewired it. This is what the differential driver diffs.
+    pub fn gen_at(&self, phase: u32, v: u32) -> u32 {
+        (1..=phase)
+            .filter(|&b| {
+                Self::rewired(
+                    self.params.seed,
+                    self.params.rewire_permille,
+                    b,
+                    v as usize,
+                )
+            })
+            .count() as u32
+    }
+
+    /// Out-neighbors of `v` during `phase`.
+    #[inline]
+    pub fn out(&self, phase: u32, v: u32) -> &[u32] {
+        &self.adj[(phase as usize).min(self.adj.len() - 1)][v as usize]
+    }
+
+    /// Global pointer to vertex `v` (owned by its home node).
+    #[inline]
+    pub fn vptr(&self, v: u32) -> GPtr {
+        let owner = u16::try_from(self.splits.partition_point(|&s| s <= v as usize) - 1)
+            .expect("invariant: vertex owner < nodes, which is u16");
+        GPtr::new(owner, self.vclass, v as u64)
+    }
+
+    /// Vertices owned by `node`.
+    pub fn range(&self, node: u16) -> std::ops::Range<usize> {
+        self.splits[node as usize]..self.splits[node as usize + 1]
+    }
+
+    /// Root vertices of `node`'s traversals (every `root_stride`-th owned
+    /// vertex; always at least one).
+    pub fn roots(&self, node: u16) -> Vec<u32> {
+        self.range(node)
+            .step_by(self.params.root_stride.max(1))
+            .map(|v| v as u32)
+            .collect()
+    }
+
+    /// Transfer size of vertex `v`'s record: header + its phase-0 out-list
+    /// (sizes must be phase-stable, so the wire size uses the base list).
+    /// The hub's list is `hub_extra` long, so hub replies span packets.
+    pub fn vertex_bytes(&self, v: u32) -> u32 {
+        16 + 4 * self.adj[0][v as usize].len() as u32
+    }
+
+    /// In-degree of every vertex during `phase` (test/diagnostic helper).
+    pub fn in_degrees(&self, phase: u32) -> Vec<u32> {
+        let mut d = vec![0u32; self.params.n];
+        for list in &self.adj[(phase as usize).min(self.adj.len() - 1)] {
+            for &t in list {
+                d[t as usize] += 1;
+            }
+        }
+        d
+    }
+
+    /// Host-side oracle: `(checksum, reached)` for `node`'s traversals at
+    /// `phase` — a sequential BFS per root over the phase adjacency,
+    /// folding the same order-independent stamp the app folds.
+    pub fn expected(&self, phase: u32, node: u16) -> (u64, u64) {
+        let mut sum = 0u64;
+        let mut reached = 0u64;
+        let mut stack: Vec<u32> = Vec::new();
+        let words = self.params.n.div_ceil(64);
+        for root in self.roots(node) {
+            let mut visited = vec![0u64; words];
+            visited[root as usize / 64] |= 1 << (root % 64);
+            stack.push(root);
+            while let Some(v) = stack.pop() {
+                sum = sum.wrapping_add(DiffPlan::stamp(self.vptr(v), self.gen_at(phase, v)));
+                reached += 1;
+                for &t in self.out(phase, v) {
+                    let (w, bit) = (t as usize / 64, 1u64 << (t % 64));
+                    if visited[w] & bit == 0 {
+                        visited[w] |= bit;
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        (sum, reached)
+    }
+}
+
+/// A traversal work item: expand vertex `v` for root slot `slot`.
+#[derive(Clone, Copy, Debug)]
+pub struct Visit {
+    /// Index into this node's root list.
+    pub slot: u32,
+    /// The vertex to expand (the labeled pointer).
+    pub v: u32,
+}
+
+/// Per-node traversal state for one phase.
+pub struct GraphApp {
+    world: Arc<GraphWorld>,
+    /// The node this instance runs on.
+    pub me: u16,
+    /// The phase this instance executes (selects adjacency + generations).
+    pub phase: u32,
+    roots: Vec<u32>,
+    /// `visited[slot]` bitmask over all vertices.
+    visited: Vec<Vec<u64>>,
+    /// Order-independent reachability digest (stamp fold).
+    pub sum: u64,
+    /// Total `(root, vertex)` expansions.
+    pub reached: u64,
+}
+
+impl GraphApp {
+    /// The app instance for node `me`, executing `phase`.
+    pub fn new(world: Arc<GraphWorld>, me: u16, phase: u32) -> GraphApp {
+        let roots = world.roots(me);
+        let words = world.params.n.div_ceil(64);
+        GraphApp {
+            visited: vec![vec![0u64; words]; roots.len()],
+            roots,
+            world,
+            me,
+            phase,
+            sum: 0,
+            reached: 0,
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, slot: u32, v: u32) -> bool {
+        let (w, bit) = (v as usize / 64, 1u64 << (v % 64));
+        let seen = self.visited[slot as usize][w] & bit != 0;
+        self.visited[slot as usize][w] |= bit;
+        !seen
+    }
+}
+
+impl PtrApp for GraphApp {
+    type Work = Visit;
+
+    fn num_iterations(&self) -> usize {
+        self.roots.len()
+    }
+
+    fn start_iteration(&mut self, iter: usize, env: &mut WorkEnv<'_, Visit>) {
+        let root = self.roots[iter];
+        env.charge(self.world.cost.root_ns);
+        let slot = iter as u32;
+        self.mark(slot, root);
+        env.demand(self.world.vptr(root), Visit { slot, v: root });
+    }
+
+    fn run_work(&mut self, w: Visit, env: &mut WorkEnv<'_, Visit>) {
+        let world = self.world.clone();
+        let ptr = world.vptr(w.v);
+        env.assert_readable(ptr);
+        // The generation actually read: the runtime's stamp for fetched
+        // copies, our own current generation for local/caching reads. A
+        // stale carried copy reports an old generation here and corrupts
+        // the digest against the sequential oracle.
+        let gen = env
+            .cached_generation(ptr)
+            .unwrap_or_else(|| world.gen_at(self.phase, w.v));
+        self.sum = self.sum.wrapping_add(DiffPlan::stamp(ptr, gen));
+        self.reached += 1;
+        let out = world.out(self.phase, w.v);
+        env.charge(world.cost.expand_ns + world.cost.edge_ns * out.len() as u64);
+        for &t in out {
+            if self.mark(w.slot, t) {
+                env.demand(world.vptr(t), Visit { slot: w.slot, v: t });
+            }
+        }
+    }
+
+    fn object_size(&self, ptr: GPtr) -> u32 {
+        self.world.vertex_bytes(ptr.index() as u32)
+    }
+
+    fn object_generation(&self, ptr: GPtr) -> u32 {
+        self.world.gen_at(self.phase, ptr.index() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GraphParams {
+        GraphParams {
+            n: 96,
+            nodes: 4,
+            degree: 3,
+            skew: 1.6,
+            hub_extra: 16,
+            phases: 3,
+            rewire_permille: 150,
+            root_stride: 8,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_partitioned() {
+        let a = GraphWorld::build(small());
+        let b = GraphWorld::build(small());
+        for ph in 0..3 {
+            for v in 0..96 {
+                assert_eq!(a.out(ph, v), b.out(ph, v));
+            }
+            for node in 0..4 {
+                assert_eq!(a.expected(ph, node), b.expected(ph, node));
+            }
+        }
+        let covered: usize = (0..4).map(|n| a.range(n).len()).sum();
+        assert_eq!(covered, 96);
+    }
+
+    #[test]
+    fn skew_concentrates_in_degree_on_the_hub() {
+        let w = GraphWorld::build(small());
+        let d = w.in_degrees(0);
+        let max = *d.iter().max().unwrap();
+        assert_eq!(d[0], max, "vertex 0 must be the hottest hub");
+        let mean = d.iter().map(|&x| x as f64).sum::<f64>() / d.len() as f64;
+        assert!(
+            (d[0] as f64) > 4.0 * mean,
+            "hub in-degree {} not skewed vs mean {mean:.1}",
+            d[0]
+        );
+        // And the hub record is outsized: its reply spans several MTUs.
+        assert!(w.vertex_bytes(0) > 3 * w.vertex_bytes(95));
+    }
+
+    #[test]
+    fn vptr_owner_matches_split_and_hub_lives_on_node0() {
+        let w = GraphWorld::build(small());
+        for v in 0..96u32 {
+            let p = w.vptr(v);
+            assert!(w.range(p.node()).contains(&(v as usize)));
+        }
+        assert_eq!(w.vptr(0).node(), 0);
+    }
+
+    #[test]
+    fn rewire_schedule_moves_generations_and_adjacency_together() {
+        let w = GraphWorld::build(small());
+        let mut moved = 0;
+        for v in 0..96u32 {
+            let (g1, g2) = (w.gen_at(1, v), w.gen_at(2, v));
+            assert!(g2 >= g1, "generations are cumulative");
+            if g1 > 0 {
+                moved += 1;
+            } else {
+                assert_eq!(w.out(1, v), w.out(0, v), "unrewired vertex changed");
+            }
+        }
+        assert!(moved > 0, "rewire plan selected nothing at 150 permille");
+    }
+
+    #[test]
+    fn try_build_rejects_bad_configs() {
+        let p = small();
+        assert_eq!(
+            GraphWorld::try_build(GraphParams { nodes: 0, ..p }).err().expect("config must be rejected"),
+            WorldError::NoNodes
+        );
+        assert_eq!(
+            GraphWorld::try_build(GraphParams { n: 0, ..p }).err().expect("config must be rejected"),
+            WorldError::Empty { what: "vertices" }
+        );
+        assert_eq!(
+            GraphWorld::try_build(GraphParams { n: 3, ..p }).err().expect("config must be rejected"),
+            WorldError::TooFewElements {
+                what: "vertices",
+                have: 3,
+                nodes: 4
+            }
+        );
+    }
+
+    #[test]
+    fn oracle_reaches_at_least_the_roots() {
+        let w = GraphWorld::build(small());
+        for node in 0..4 {
+            let (_, reached) = w.expected(0, node);
+            assert!(reached >= w.roots(node).len() as u64);
+        }
+    }
+}

@@ -15,6 +15,12 @@
 //!   U/V/W/X list phases;
 //! * [`relax`] — a push-style weighted graph relaxation exercising the
 //!   remote-reduction extension (the paper's stated future work);
+//! * [`graph_dist`] — semi-naive transitive closure over a mutable
+//!   power-law edge graph: hot hubs, outsized hub records, structural
+//!   per-phase deltas — the skew-adversarial workload family;
+//! * [`setops_dist`] — batch-parallel ordered-set operations (insert /
+//!   delete / range) over a distributed sorted map with power-law-hot
+//!   range queries;
 //! * [`driver`] — one-call phase runners returning forces + timing
 //!   ([`driver::run_bh`], [`driver::run_fmm`]).
 //!
@@ -30,11 +36,15 @@ pub mod bh_dist;
 pub mod driver;
 pub mod error;
 pub mod fmm_dist;
+pub mod graph_dist;
 pub mod relax;
+pub mod setops_dist;
 
 pub use afmm_dist::{AEvalWork, AfmmEvalApp, AfmmGatherApp, AfmmWorld, GatherWork};
 pub use error::WorldError;
 pub use bh_dist::{BhApp, BhCost, BhVisit, BhWorld, OwnerPolicy};
 pub use driver::{merge_stats, run_afmm, run_bh, run_fmm, AfmmRun, BhRun, FmmRun};
 pub use fmm_dist::{EvalWork, FmmCost, FmmEvalApp, FmmM2lApp, FmmWorld, M2lWork};
+pub use graph_dist::{GraphApp, GraphCost, GraphParams, GraphWorld, Visit};
 pub use relax::{Push, RelaxApp, RelaxCost, RelaxWorld, Vertex};
+pub use setops_dist::{key_stamp, Probe, SetOp, SetopsApp, SetopsParams, SetopsWorld};

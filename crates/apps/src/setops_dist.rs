@@ -1,0 +1,564 @@
+//! Batch-parallel ordered-set operations over a distributed sorted map —
+//! the CPMA / finger-search-shaped companion to the graph workload.
+//!
+//! The key universe `0..universe` is divided into `buckets` contiguous
+//! buckets; a bucket is one heap object, and buckets are range-partitioned
+//! over the machine, so the world is a distributed sorted map keyed by
+//! integer. Each node executes one *batch* of mixed operations per phase:
+//!
+//! - **Insert(k)** / **Delete(k)**: a remote reduction into `k`'s bucket
+//!   ([`WorkEnv::accumulate`] with the signed encoded key); the owner
+//!   applies it to its live membership at the phase barrier semantics the
+//!   runtime guarantees (commutative, exactly-once).
+//! - **Range(lo, hi)**: demands every covering bucket and folds the count
+//!   and an order-independent digest of the members *at phase start* —
+//!   reads are phase-immutable, mutations are end-of-phase reductions, so
+//!   a `BTreeSet` model is exact: answer ranges against the initial set,
+//!   then apply the batch.
+//!
+//! Every key is operated on by **at most one op machine-wide** (ops draw
+//! distinct keys from a seeded permutation), which is what makes the
+//! reduction fold order-independent and the model well-defined.
+//!
+//! Range queries are power-law skewed toward bucket 0, so the low buckets
+//! — all owned by node 0 — are the hot keys: many consumers, no dominant
+//! one, the adversarial case for migration's dominant-consumer pick.
+
+use crate::error::WorldError;
+use dpa_core::{PtrApp, WorkEnv};
+use global_heap::{ClassTable, GPtr, ObjClass};
+use sim_net::Rng;
+use std::sync::Arc;
+
+/// Per-operation costs, ns.
+#[derive(Clone, Copy, Debug)]
+pub struct SetopsCost {
+    /// Per-op decode + dispatch.
+    pub op_ns: u64,
+    /// Per-bucket probe of a range query.
+    pub probe_ns: u64,
+    /// Per-key fold inside a probe.
+    pub key_ns: u64,
+}
+
+impl Default for SetopsCost {
+    fn default() -> Self {
+        SetopsCost {
+            op_ns: 300,
+            probe_ns: 500,
+            key_ns: 40,
+        }
+    }
+}
+
+/// One batched set operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetOp {
+    /// Insert `key` (no-op if present).
+    Insert(u64),
+    /// Delete `key` (no-op if absent).
+    Delete(u64),
+    /// Count + digest the members of `[lo, hi)` at phase start.
+    Range(u64, u64),
+}
+
+/// Generator parameters for [`SetopsWorld`].
+#[derive(Clone, Copy, Debug)]
+pub struct SetopsParams {
+    /// Key universe `0..universe`.
+    pub universe: u64,
+    /// Bucket count (each bucket is one heap object).
+    pub buckets: usize,
+    /// Machine size (contiguous even bucket partition).
+    pub nodes: u16,
+    /// Ops per node per batch.
+    pub ops_per_node: usize,
+    /// Initial membership density, permille.
+    pub fill_permille: u32,
+    /// Power-law skew of range-query placement toward bucket 0.
+    pub skew: f64,
+    /// Max range width, in buckets.
+    pub range_buckets: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for SetopsParams {
+    fn default() -> Self {
+        SetopsParams {
+            universe: 4096,
+            buckets: 64,
+            nodes: 4,
+            ops_per_node: 48,
+            fill_permille: 400,
+            skew: 1.5,
+            range_buckets: 4,
+            seed: 0x5E70,
+        }
+    }
+}
+
+/// The shared world: initial membership, per-node op batches, partition.
+pub struct SetopsWorld {
+    /// Parameters the world was built from.
+    pub params: SetopsParams,
+    /// Initial membership bitset over the key universe.
+    initial: Vec<u64>,
+    /// `ops[node]` = that node's batch.
+    ops: Vec<Vec<SetOp>>,
+    /// `splits[i]..splits[i+1]` = node `i`'s buckets.
+    pub splits: Vec<usize>,
+    /// Cost model.
+    pub cost: SetopsCost,
+    /// Object classes (one: BUCKET).
+    pub classes: ClassTable,
+    /// The bucket object class.
+    pub bclass: ObjClass,
+}
+
+#[inline]
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-independent digest contribution of key `k` being present.
+#[inline]
+pub fn key_stamp(k: u64) -> u64 {
+    mix(k ^ 0xA076_1D64_78BD_642F, 0x1357_9BDF)
+}
+
+impl SetopsWorld {
+    /// Build the world, panicking on invalid parameters.
+    pub fn build(params: SetopsParams) -> Arc<SetopsWorld> {
+        Self::try_build(params).expect("invalid SetopsWorld configuration")
+    }
+
+    /// Fallible [`SetopsWorld::build`]: rejects an empty machine, empty
+    /// universes/batches, machines larger than the bucket count, and op
+    /// batches that cannot draw machine-wide-distinct keys.
+    pub fn try_build(params: SetopsParams) -> Result<Arc<SetopsWorld>, WorldError> {
+        if params.nodes == 0 {
+            return Err(WorldError::NoNodes);
+        }
+        if params.buckets == 0 || params.universe == 0 {
+            return Err(WorldError::Empty { what: "buckets" });
+        }
+        if params.buckets < params.nodes as usize {
+            return Err(WorldError::TooFewElements {
+                what: "buckets",
+                have: params.buckets,
+                nodes: params.nodes,
+            });
+        }
+        let need = params.nodes as usize * params.ops_per_node;
+        if (params.universe as usize) < need.max(params.buckets) {
+            return Err(WorldError::TooFewElements {
+                what: "keys",
+                have: params.universe as usize,
+                nodes: params.nodes,
+            });
+        }
+        let splits = nbody::morton::even_splits(params.buckets, params.nodes as usize);
+        let words = (params.universe as usize).div_ceil(64);
+        let mut initial = vec![0u64; words];
+        for k in 0..params.universe {
+            if mix(params.seed ^ 0xF111, k) % 1000 < params.fill_permille as u64 {
+                initial[k as usize / 64] |= 1 << (k % 64);
+            }
+        }
+        // Machine-wide distinct op keys: a seeded Fisher-Yates permutation
+        // of the universe, carved into per-node slices.
+        let mut perm: Vec<u64> = (0..params.universe).collect();
+        let mut rng = Rng::new(params.seed ^ 0x0B5E);
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let bucket_width = params.universe.div_ceil(params.buckets as u64);
+        // Power-law placement of range queries over buckets.
+        let mut cum = Vec::with_capacity(params.buckets);
+        let mut total = 0.0f64;
+        for b in 0..params.buckets {
+            total += ((b + 1) as f64).powf(-params.skew);
+            cum.push(total);
+        }
+        let mut ops = Vec::with_capacity(params.nodes as usize);
+        for node in 0..params.nodes as usize {
+            let mut batch = Vec::with_capacity(params.ops_per_node);
+            let mut nr = Rng::new(mix(params.seed, node as u64));
+            for j in 0..params.ops_per_node {
+                let k = perm[node * params.ops_per_node + j];
+                batch.push(match mix(params.seed ^ 0x09, k) % 5 {
+                    0 | 1 => SetOp::Insert(k),
+                    2 | 3 => SetOp::Delete(k),
+                    _ => {
+                        let r = nr.unit_f64() * total;
+                        let lo_b = cum.partition_point(|&c| c < r).min(params.buckets - 1);
+                        let width = 1 + nr.below(params.range_buckets.max(1) as u64);
+                        let lo = lo_b as u64 * bucket_width;
+                        let hi = ((lo_b as u64 + width) * bucket_width).min(params.universe);
+                        SetOp::Range(lo, hi)
+                    }
+                });
+            }
+            ops.push(batch);
+        }
+        let mut classes = ClassTable::new();
+        let bclass = classes.register("setops_bucket", 64);
+        Ok(Arc::new(SetopsWorld {
+            params,
+            initial,
+            ops,
+            splits,
+            cost: SetopsCost::default(),
+            classes,
+            bclass,
+        }))
+    }
+
+    /// Width of each bucket in keys.
+    #[inline]
+    pub fn bucket_width(&self) -> u64 {
+        self.params.universe.div_ceil(self.params.buckets as u64)
+    }
+
+    /// The bucket holding `key`.
+    #[inline]
+    pub fn bucket_of(&self, key: u64) -> usize {
+        ((key / self.bucket_width()) as usize).min(self.params.buckets - 1)
+    }
+
+    /// Global pointer to bucket `b` (owned by its home node).
+    #[inline]
+    pub fn bptr(&self, b: usize) -> GPtr {
+        let owner = u16::try_from(self.splits.partition_point(|&s| s <= b) - 1)
+            .expect("invariant: bucket owner < nodes, which is u16");
+        GPtr::new(owner, self.bclass, b as u64)
+    }
+
+    /// Buckets owned by `node`.
+    pub fn bucket_range(&self, node: u16) -> std::ops::Range<usize> {
+        self.splits[node as usize]..self.splits[node as usize + 1]
+    }
+
+    /// Keys of bucket `b`.
+    pub fn key_range(&self, b: usize) -> std::ops::Range<u64> {
+        let w = self.bucket_width();
+        (b as u64 * w)..((b as u64 + 1) * w).min(self.params.universe)
+    }
+
+    /// `true` if `key` is in the initial (phase-start) set.
+    #[inline]
+    pub fn initially_present(&self, key: u64) -> bool {
+        self.initial[key as usize / 64] & (1 << (key % 64)) != 0
+    }
+
+    /// Node `node`'s op batch.
+    pub fn batch(&self, node: u16) -> &[SetOp] {
+        &self.ops[node as usize]
+    }
+
+    /// Transfer size of bucket `b`: header + its initial members.
+    pub fn bucket_bytes(&self, b: usize) -> u32 {
+        let members = self.key_range(b).filter(|&k| self.initially_present(k)).count();
+        24 + 8 * members as u32
+    }
+
+    /// Host-side oracle for `node`: `(range_sum, final_digest)` — range
+    /// queries answered against the initial set, then the whole machine's
+    /// batch applied and the node's owned keys digested.
+    pub fn expected(&self, node: u16) -> (u64, u64) {
+        let mut range_sum = 0u64;
+        for op in self.batch(node) {
+            if let SetOp::Range(lo, hi) = *op {
+                for k in lo..hi {
+                    if self.initially_present(k) {
+                        range_sum = range_sum.wrapping_add(key_stamp(k));
+                    }
+                }
+            }
+        }
+        let member = |k: u64| self.initially_present(k);
+        let mut inserted: Vec<u64> = Vec::new();
+        let mut deleted: Vec<u64> = Vec::new();
+        for batch in &self.ops {
+            for op in batch {
+                match *op {
+                    SetOp::Insert(k) => inserted.push(k),
+                    SetOp::Delete(k) => deleted.push(k),
+                    SetOp::Range(..) => {}
+                }
+            }
+        }
+        let mut digest = 0u64;
+        for b in self.bucket_range(node) {
+            for k in self.key_range(b) {
+                let now = if inserted.contains(&k) {
+                    true
+                } else if deleted.contains(&k) {
+                    false
+                } else {
+                    member(k)
+                };
+                if now {
+                    digest = digest.wrapping_add(key_stamp(k));
+                }
+            }
+        }
+        (range_sum, digest)
+    }
+}
+
+/// A probe work item: fold one bucket's members within `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    /// Query lower bound (inclusive).
+    pub lo: u64,
+    /// Query upper bound (exclusive).
+    pub hi: u64,
+    /// The bucket to probe (the labeled pointer).
+    pub b: u32,
+}
+
+/// Per-node batch-execution state.
+pub struct SetopsApp {
+    world: Arc<SetopsWorld>,
+    me: u16,
+    /// Mutable membership of owned keys (starts at the initial set).
+    owned: Vec<u64>,
+    /// Base key of this node's owned range.
+    owned_base: u64,
+    /// Order-independent digest over range-query results.
+    pub range_sum: u64,
+    /// Probes executed.
+    pub probes: u64,
+    /// Reductions applied on this owner.
+    pub applied: u64,
+}
+
+impl SetopsApp {
+    /// The app instance for node `me`.
+    pub fn new(world: Arc<SetopsWorld>, me: u16) -> SetopsApp {
+        let r = world.bucket_range(me);
+        let lo = world.key_range(r.start).start;
+        let hi = world.key_range(r.end - 1).end;
+        let words = ((hi - lo) as usize).div_ceil(64);
+        let mut owned = vec![0u64; words];
+        for k in lo..hi {
+            if world.initially_present(k) {
+                owned[(k - lo) as usize / 64] |= 1 << ((k - lo) % 64);
+            }
+        }
+        SetopsApp {
+            world,
+            me,
+            owned,
+            owned_base: lo,
+            range_sum: 0,
+            probes: 0,
+            applied: 0,
+        }
+    }
+
+    /// Digest of this node's final owned membership (order-independent).
+    pub fn final_digest(&self) -> u64 {
+        let r = self.world.bucket_range(self.me);
+        let lo = self.world.key_range(r.start).start;
+        let hi = self.world.key_range(r.end - 1).end;
+        let mut d = 0u64;
+        for k in lo..hi {
+            let i = (k - self.owned_base) as usize;
+            if self.owned[i / 64] & (1 << (i % 64)) != 0 {
+                d = d.wrapping_add(key_stamp(k));
+            }
+        }
+        d
+    }
+}
+
+impl PtrApp for SetopsApp {
+    type Work = Probe;
+
+    fn num_iterations(&self) -> usize {
+        self.world.batch(self.me).len()
+    }
+
+    fn start_iteration(&mut self, iter: usize, env: &mut WorkEnv<'_, Probe>) {
+        let world = self.world.clone();
+        env.charge(world.cost.op_ns);
+        match world.batch(self.me)[iter] {
+            SetOp::Insert(k) => env.accumulate(world.bptr(world.bucket_of(k)), (k + 1) as f64),
+            SetOp::Delete(k) => {
+                env.accumulate(world.bptr(world.bucket_of(k)), -((k + 1) as f64))
+            }
+            SetOp::Range(lo, hi) => {
+                let (blo, bhi) = (world.bucket_of(lo), world.bucket_of(hi.saturating_sub(1)));
+                for b in blo..=bhi {
+                    env.demand(world.bptr(b), Probe { lo, hi, b: b as u32 });
+                }
+            }
+        }
+    }
+
+    fn run_work(&mut self, w: Probe, env: &mut WorkEnv<'_, Probe>) {
+        let world = self.world.clone();
+        let ptr = world.bptr(w.b as usize);
+        env.assert_readable(ptr);
+        let keys = world.key_range(w.b as usize);
+        let (lo, hi) = (w.lo.max(keys.start), w.hi.min(keys.end));
+        let mut folded = 0u64;
+        for k in lo..hi {
+            if world.initially_present(k) {
+                self.range_sum = self.range_sum.wrapping_add(key_stamp(k));
+                folded += 1;
+            }
+        }
+        env.charge(world.cost.probe_ns + world.cost.key_ns * folded);
+        self.probes += 1;
+    }
+
+    fn object_size(&self, ptr: GPtr) -> u32 {
+        self.world.bucket_bytes(ptr.index() as usize)
+    }
+
+    fn apply_update(&mut self, ptr: GPtr, value: f64) {
+        debug_assert_eq!(ptr.class(), self.world.bclass);
+        let k = (value.abs() as u64) - 1;
+        debug_assert_eq!(self.world.bucket_of(k), ptr.index() as usize);
+        let i = (k - self.owned_base) as usize;
+        if value > 0.0 {
+            self.owned[i / 64] |= 1 << (i % 64);
+        } else {
+            self.owned[i / 64] &= !(1 << (i % 64));
+        }
+        self.applied += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetopsParams {
+        SetopsParams {
+            universe: 1024,
+            buckets: 32,
+            nodes: 4,
+            ops_per_node: 24,
+            fill_permille: 400,
+            skew: 1.5,
+            range_buckets: 3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn world_is_deterministic_and_partitioned() {
+        let a = SetopsWorld::build(small());
+        let b = SetopsWorld::build(small());
+        for node in 0..4 {
+            assert_eq!(a.batch(node), b.batch(node));
+            assert_eq!(a.expected(node), b.expected(node));
+        }
+        let covered: usize = (0..4).map(|n| a.bucket_range(n).len()).sum();
+        assert_eq!(covered, 32);
+    }
+
+    #[test]
+    fn op_keys_are_machine_wide_distinct() {
+        let w = SetopsWorld::build(small());
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..4 {
+            for op in w.batch(node) {
+                if let SetOp::Insert(k) | SetOp::Delete(k) = *op {
+                    assert!(seen.insert(k), "key {k} operated on twice");
+                }
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn range_queries_skew_toward_node0_buckets() {
+        let w = SetopsWorld::build(SetopsParams { ops_per_node: 200, ..small() });
+        let mut hits = vec![0u64; 4];
+        for node in 0..4 {
+            for op in w.batch(node) {
+                if let SetOp::Range(lo, _) = *op {
+                    hits[w.bptr(w.bucket_of(lo)).node() as usize] += 1;
+                }
+            }
+        }
+        assert!(
+            hits[0] > hits[1] + hits[2] + hits[3],
+            "low buckets not hot: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn bptr_owner_matches_split() {
+        let w = SetopsWorld::build(small());
+        for b in 0..32 {
+            assert!(w.bucket_range(w.bptr(b).node()).contains(&b));
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_bad_configs() {
+        let p = small();
+        assert_eq!(
+            SetopsWorld::try_build(SetopsParams { nodes: 0, ..p }).err().expect("config must be rejected"),
+            WorldError::NoNodes
+        );
+        assert_eq!(
+            SetopsWorld::try_build(SetopsParams { buckets: 0, ..p }).err().expect("config must be rejected"),
+            WorldError::Empty { what: "buckets" }
+        );
+        assert_eq!(
+            SetopsWorld::try_build(SetopsParams { buckets: 3, ..p }).err().expect("config must be rejected"),
+            WorldError::TooFewElements { what: "buckets", have: 3, nodes: 4 }
+        );
+        assert_eq!(
+            SetopsWorld::try_build(SetopsParams { universe: 64, ..p }).err().expect("config must be rejected"),
+            WorldError::TooFewElements { what: "keys", have: 64, nodes: 4 }
+        );
+    }
+
+    #[test]
+    fn oracle_digest_reflects_inserts_and_deletes() {
+        let w = SetopsWorld::build(small());
+        // Find an insert of an absent key and a delete of a present key;
+        // with 400-permille fill and 96 op slots both exist at this seed.
+        let mut any_flip = false;
+        for node in 0..4 {
+            for op in w.batch(node) {
+                match *op {
+                    SetOp::Insert(k) if !w.initially_present(k) => any_flip = true,
+                    SetOp::Delete(k) if w.initially_present(k) => any_flip = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(any_flip, "batch never changes membership — oracle untestable");
+        // The final digest differs from the initial digest somewhere.
+        let initial_digest: Vec<u64> = (0..4u16)
+            .map(|node| {
+                let mut d = 0u64;
+                for b in w.bucket_range(node) {
+                    for k in w.key_range(b) {
+                        if w.initially_present(k) {
+                            d = d.wrapping_add(key_stamp(k));
+                        }
+                    }
+                }
+                d
+            })
+            .collect();
+        let moved = (0..4u16).any(|n| w.expected(n).1 != initial_digest[n as usize]);
+        assert!(moved, "applying the batch left every node's digest unchanged");
+    }
+}

@@ -37,10 +37,12 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 fn main() {
     let smoke = has_flag("--smoke");
     let jobs = if smoke { 24 } else { 160 };
-    // Smoke keeps to the cheap single-phase workloads; the full profile
-    // mixes every DST workload, multi-phase and differential included.
+    // Smoke keeps to the cheap single-phase workloads (setops rides along
+    // so the skew-adversarial family is always in the mix); the full
+    // profile mixes every DST workload, multi-phase, differential, and the
+    // graph family included.
     let workloads: &[&str] = if smoke {
-        &["synth-dpa", "synth-caching", "relax"]
+        &["synth-dpa", "synth-caching", "relax", "setops"]
     } else {
         WORKLOADS
     };

@@ -34,7 +34,13 @@
 //! feedback controller with tight bounds so retunes actually fire), so the
 //! object-migration protocol — affinity, depart/adopt, forwards, orphans —
 //! and the strip controller — bounded schedules, deterministic retunes,
-//! cross-phase carry — are explored under every fault plan.
+//! cross-phase carry — are explored under every fault plan. The
+//! differential variants (`synth-diff`, `bh-diff`, `graph`) run
+//! `run_phase_differential` against a from-scratch comparator, and the
+//! skew-adversarial family (`graph`, `graph-mig`, `setops`) puts a
+//! power-law hot hub with multi-MTU records and structural phase deltas —
+//! plus ordered-set batches on the reduction path — under the same
+//! oracles, including per-hot-key reply conservation.
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin dst            # 32 seeds x 5 plans
@@ -127,20 +133,41 @@ struct PlanRow {
     agg: (f64, f64, f64),
 }
 
-const USAGE: &str = "usage: dst [--smoke | --quick | --replay <case-file>]
-  (default)        sweep 32 seeds x {none, drop, dup, delay} over every workload
-  --quick          8 seeds x all 4 fault plans
-  --smoke          8 seeds x {none, drop} (CI-sized)
-  --replay <path>  re-run one recorded corpus case; exit 1 if it reproduces";
+const USAGE: &str = "usage: dst [--smoke | --quick | --workload <names> | --replay <case-file>]
+  (default)          sweep 32 seeds x {none, drop, dup, delay} over every workload
+  --quick            8 seeds x all 4 fault plans
+  --smoke            8 seeds x {none, drop} (CI-sized)
+  --workload <names> restrict the sweep to a comma-separated workload subset
+  --replay <path>    re-run one recorded corpus case; exit 1 if it reproduces";
 
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if let Some(pos) = argv.iter().position(|a| a == "--replay") {
         let Some(path) = argv.get(pos + 1) else {
             eprintln!("error: --replay needs a corpus case path\n{USAGE}");
             std::process::exit(2);
         };
         std::process::exit(replay(path));
+    }
+    let mut workloads: Vec<&str> = WORKLOADS.to_vec();
+    if let Some(pos) = argv.iter().position(|a| a == "--workload") {
+        let Some(names) = argv.get(pos + 1).cloned() else {
+            eprintln!("error: --workload needs a comma-separated name list\n{USAGE}");
+            std::process::exit(2);
+        };
+        workloads = Vec::new();
+        for name in names.split(',') {
+            match WORKLOADS.iter().find(|&&w| w == name.trim()) {
+                Some(&w) => workloads.push(w),
+                None => {
+                    eprintln!(
+                        "error: unknown workload {name:?} (expected one of {WORKLOADS:?})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        argv.drain(pos..=pos + 1);
     }
     if let Some(bad) = argv.iter().find(|a| !matches!(a.as_str(), "--smoke" | "--quick")) {
         eprintln!("error: unknown argument {bad:?}\n{USAGE}");
@@ -156,7 +183,7 @@ fn main() {
     let mut rows: Vec<PlanRow> = Vec::new();
     let mut failures: Vec<(String, u64, String, Vec<String>)> = Vec::new();
 
-    for &workload in WORKLOADS {
+    for &workload in &workloads {
         let baseline = run_one(&w, workload, &DstOptions::default());
         assert!(
             baseline.completed,
@@ -248,7 +275,7 @@ fn main() {
     let total_violations: u64 = rows.iter().map(|r| r.violations).sum();
     println!(
         "\nswept {} workloads x {} plans x {seeds} seeds = {total_runs} runs; {total_violations} violations",
-        WORKLOADS.len(),
+        workloads.len(),
         plans.len()
     );
 

@@ -1,0 +1,232 @@
+//! Hot-hub crossover figure: skew exponent x migration threshold x
+//! reply-aggregation window over the pointer-chasing graph workload.
+//!
+//! The graph family (`apps::graph_dist`) is skew-adversarial by
+//! construction: edge targets follow a power law, so one vertex becomes a
+//! hub that every node's closure traversal hits. This figure sweeps the
+//! skew exponent and, at each skew, races the two communication knobs the
+//! paper treats as unconditional wins:
+//!
+//! * **migration threshold** — eager locality-driven migration
+//!   (`threshold = 1`, short epochs) against a conservative threshold and
+//!   against no migration at all. A hub has *no* dominant consumer: every
+//!   node is a heavy requester, so an eager owner ships the hub to whoever
+//!   asked last and the object ping-pongs, paying shipment and forwarding
+//!   overhead for locality that never materializes.
+//! * **reply-aggregation window** — a wide window with a lazy flush
+//!   deadline against a modest window and against no aggregation. Wide
+//!   windows help exactly when fan-out is high and steady; on the skewed
+//!   tail the window never fills and every reply waits out the deadline.
+//!
+//! The point of the figure is the *crossover*: both knobs must be shown
+//! losing somewhere on the hot-hub axis (simulated time, same bit-identical
+//! checksums), not just winning on their home turf. The final gate asserts
+//! an adversarial regime was actually recorded — if tuning ever makes every
+//! knob win everywhere, this binary fails and the figure is honest again.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin fig_graph            # full sweep
+//!   cargo run --release -p bench --bin fig_graph -- --quick # 3 skews
+//!   cargo run --release -p bench --bin fig_graph -- --smoke # 2 skews (CI)
+//!
+//! Exits nonzero if checksums diverge across configs or no adversarial
+//! regime (migration or aggregation losing at skew >= 1.5) is observed.
+
+use apps::graph_dist::{GraphApp, GraphParams, GraphWorld};
+use bench::{dump_json, has_flag, ExpPoint};
+use dpa_core::invariant::check_completed;
+use dpa_core::{run_phase_migrating, DpaConfig, DstOptions};
+use sim_net::NetConfig;
+use std::sync::Arc;
+
+const NODES: u16 = 8;
+const STRIP: usize = 8;
+/// The hot-hub regime: a crossover only counts if it happens here.
+const HOT_SKEW: f64 = 1.5;
+
+/// One (skew, config) cell: total simulated time over all phases, total
+/// messages, and the per-(phase, node) closure checksums.
+struct Cell {
+    ns: u64,
+    msgs: u64,
+    sums: Vec<(u64, u64)>,
+}
+
+fn run_cell(world: &Arc<GraphWorld>, phases: usize, cfg: DpaConfig, label: &str) -> Cell {
+    let mut sums = vec![(0u64, 0u64); phases * NODES as usize];
+    let mk = |ph: usize, i: u16| GraphApp::new(world.clone(), i, ph as u32);
+    let collect = |ph: usize, i: u16, app: &GraphApp| {
+        sums[ph * NODES as usize + i as usize] = (app.sum, app.reached);
+    };
+    let (reports, snap_sets, _) = run_phase_migrating(
+        NODES,
+        NetConfig::default(),
+        cfg,
+        &DstOptions::default(),
+        phases,
+        mk,
+        collect,
+    );
+    let mut ns = 0u64;
+    let mut msgs = 0u64;
+    for (ph, (r, snaps)) in reports.iter().zip(&snap_sets).enumerate() {
+        assert!(
+            r.completed,
+            "{label} phase {ph} stalled: {}",
+            r.stall_summary()
+        );
+        let violations = check_completed(snaps, false);
+        assert!(
+            violations.is_empty(),
+            "{label} phase {ph} violates invariants: {}",
+            violations[0]
+        );
+        ns += r.makespan().as_ns();
+        msgs += r.stats.total_msgs();
+    }
+    Cell { ns, msgs, sums }
+}
+
+/// The config lanes of one skew column. The first lane is the reference
+/// everything else is compared against (plain DPA, default window).
+fn lanes() -> Vec<(&'static str, DpaConfig)> {
+    vec![
+        ("dpa-w32", DpaConfig::dpa(STRIP)),
+        (
+            "agg-w1",
+            DpaConfig {
+                reply_agg_window: 1,
+                ..DpaConfig::dpa(STRIP)
+            },
+        ),
+        (
+            "agg-w256",
+            DpaConfig {
+                reply_agg_window: 256,
+                reply_flush_deadline_ns: 200_000,
+                ..DpaConfig::dpa(STRIP)
+            },
+        ),
+        (
+            "mig-t1",
+            DpaConfig {
+                migration_threshold: 1,
+                migration_epoch_ns: 10_000,
+                ..DpaConfig::dpa_migrating(STRIP)
+            },
+        ),
+        (
+            "mig-t8",
+            DpaConfig {
+                migration_threshold: 8,
+                ..DpaConfig::dpa_migrating(STRIP)
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let (n, phases, root_stride, skews): (usize, usize, usize, &[f64]) = if has_flag("--smoke") {
+        (96, 2, 4, &[0.4, 2.0])
+    } else if has_flag("--quick") {
+        (160, 3, 3, &[0.4, 1.6, 2.4])
+    } else {
+        (256, 4, 2, &[0.0, 0.8, 1.6, 2.4])
+    };
+
+    println!(
+        "fig_graph: transitive closure, n={n}, {NODES} nodes, {phases} phases, \
+         skew x {{migration threshold, reply-agg window}}"
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12}   losers",
+        "skew", "dpa-w32 ms", "agg-w1 ms", "agg-w256 ms", "mig-t1 ms", "mig-t8 ms"
+    );
+
+    let mut points: Vec<ExpPoint> = Vec::new();
+    let mut adversarial: Vec<String> = Vec::new();
+    for &skew in skews {
+        let world = GraphWorld::build(GraphParams {
+            n,
+            nodes: NODES,
+            skew,
+            phases: phases as u32,
+            root_stride,
+            ..GraphParams::default()
+        });
+        let mut cells: Vec<(&str, Cell)> = Vec::new();
+        for (label, cfg) in lanes() {
+            let cell = run_cell(&world, phases, cfg, label);
+            cells.push((label, cell));
+        }
+        // Correctness bar: every knob setting computes the same closure.
+        for (label, cell) in &cells[1..] {
+            assert_eq!(
+                cell.sums, cells[0].1.sums,
+                "skew {skew}: {label} checksums diverged from {}",
+                cells[0].0
+            );
+        }
+        let ns_of = |want: &str| cells.iter().find(|(l, _)| *l == want).unwrap().1.ns;
+        // A knob "loses" when turning it on costs simulated time against
+        // its own off/modest setting on the same world.
+        let mut losers: Vec<String> = Vec::new();
+        if ns_of("mig-t1") > ns_of("dpa-w32") {
+            losers.push("mig-t1".into());
+        }
+        if ns_of("mig-t8") > ns_of("dpa-w32") {
+            losers.push("mig-t8".into());
+        }
+        if ns_of("agg-w256") > ns_of("agg-w1") {
+            losers.push("agg-w256".into());
+        }
+        println!(
+            "{skew:>6.1} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3}   {}",
+            ns_of("dpa-w32") as f64 / 1e6,
+            ns_of("agg-w1") as f64 / 1e6,
+            ns_of("agg-w256") as f64 / 1e6,
+            ns_of("mig-t1") as f64 / 1e6,
+            ns_of("mig-t8") as f64 / 1e6,
+            if losers.is_empty() {
+                "-".to_string()
+            } else {
+                losers.join(",")
+            }
+        );
+        if skew >= HOT_SKEW {
+            for l in &losers {
+                adversarial.push(format!("skew {skew:.1}: {l}"));
+            }
+        }
+        for (label, cell) in &cells {
+            let lost = losers.iter().any(|l| l == label);
+            points.push(ExpPoint {
+                experiment: "fig_graph".into(),
+                app: "graph".into(),
+                config: format!("skew{skew:.1}-{label}"),
+                nodes: NODES,
+                seconds: cell.ns as f64 / 1e9,
+                breakdown: (0.0, 0.0, 0.0),
+                msgs: cell.msgs,
+                bytes: 0,
+                extra: vec![
+                    ("skew".into(), skew),
+                    ("loses".into(), if lost { 1.0 } else { 0.0 }),
+                ],
+            });
+        }
+    }
+    dump_json("fig_graph", &points);
+
+    if adversarial.is_empty() {
+        eprintln!(
+            "FAIL: no adversarial regime recorded — neither eager migration nor wide \
+             reply aggregation lost at skew >= {HOT_SKEW}; the crossover figure has no crossover"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: adversarial regimes on the hot-hub axis: {}",
+        adversarial.join("; ")
+    );
+}

@@ -9,7 +9,9 @@
 
 use apps::bh_dist::{BhApp, BhWorld};
 use apps::fmm_dist::{FmmEvalApp, FmmM2lApp, FmmWorld};
+use apps::graph_dist::{GraphApp, GraphParams, GraphWorld};
 use apps::relax::{RelaxApp, RelaxWorld};
+use apps::setops_dist::{SetopsApp, SetopsParams, SetopsWorld};
 use crate::{bh_world_sized, fmm_world_sized};
 use dpa_core::invariant::{check_completed, check_conservation, NodeSnapshot};
 use dpa_core::synth::{SynthApp, SynthParams, SynthWorld};
@@ -40,7 +42,14 @@ pub const SMOKE_PLANS: &[&str] = &["none", "drop"];
 /// workloads run multi-timestep with **differential re-alignment**
 /// ([`run_phase_differential`]): tables and cached arrivals carry across
 /// barriers, patched by boundary deltas; `bh-diff` additionally enables
-/// migration so delta routing composes with re-homing.
+/// migration so delta routing composes with re-homing. The skew-adversarial
+/// family: `graph` is semi-naive transitive closure over a mutable
+/// power-law graph, run differentially — structural edge rewires advance
+/// object generations at every barrier, so the carried hub entries are
+/// invalidated by *topology* changes, not a value-change schedule;
+/// `graph-mig` runs the same closure multi-phase with migration chasing
+/// the hot hub (many consumers, no dominant one); `setops` is the
+/// batch-parallel ordered-set workload with power-law-hot range queries.
 pub const WORKLOADS: &[&str] = &[
     "synth-dpa",
     "synth-caching",
@@ -53,6 +62,9 @@ pub const WORKLOADS: &[&str] = &[
     "bh-adapt",
     "synth-diff",
     "bh-diff",
+    "graph",
+    "graph-mig",
+    "setops",
 ];
 /// Adaptive strip bounds for the `-adapt` workloads (deliberately tight:
 /// the small DST worlds must still cross retune boundaries).
@@ -125,6 +137,10 @@ pub struct Worlds {
     pub fmm: Arc<FmmWorld>,
     /// Small graph-relaxation instance.
     pub relax: Arc<RelaxWorld>,
+    /// Small power-law transitive-closure instance (hot hub on node 0).
+    pub graph: Arc<GraphWorld>,
+    /// Small distributed ordered-set instance (hot buckets on node 0).
+    pub setops: Arc<SetopsWorld>,
 }
 
 impl Worlds {
@@ -142,6 +158,17 @@ impl Worlds {
             bh: bh_world_sized(192, 4),
             fmm: fmm_world_sized(256, 8, 4),
             relax: RelaxWorld::build(96, 4, 4, 0.5, 0xDE7),
+            graph: GraphWorld::build(GraphParams {
+                n: 96,
+                seed: 0x06EA_9D57,
+                ..GraphParams::default()
+            }),
+            setops: SetopsWorld::build(SetopsParams {
+                universe: 2048,
+                ops_per_node: 32,
+                seed: 0x05E7_0D57,
+                ..SetopsParams::default()
+            }),
         }
     }
 }
@@ -337,6 +364,81 @@ pub fn run_one_mode(w: &Worlds, workload: &str, opts: &DstOptions, differential:
                 )
             };
             mig_outcome(reports, snap_sets, Digest::Ints(hashes))
+        }
+        "graph" => {
+            // Transitive closure with *structural* deltas: edge rewires at
+            // every barrier advance vertex generations, so the carried hub
+            // entries go stale from topology changes — the differential
+            // protocol must invalidate them or the closure checksum (which
+            // folds the generation actually read) diverges.
+            let world = w.graph.clone();
+            let nodes = world.params.nodes;
+            let mut sums = vec![0u64; 2 * DIFF_PHASES * nodes as usize];
+            let mk = |ph: usize, i: u16| GraphApp::new(world.clone(), i, ph as u32);
+            let collect = |ph: usize, i: u16, app: &GraphApp| {
+                let at = 2 * (ph * nodes as usize + i as usize);
+                sums[at] = app.sum;
+                sums[at + 1] = app.reached;
+            };
+            let (reports, snap_sets, _) = if differential {
+                run_phase_differential(
+                    nodes,
+                    net,
+                    DpaConfig::dpa_differential(8),
+                    opts,
+                    DIFF_PHASES,
+                    mk,
+                    collect,
+                )
+            } else {
+                run_phase_migrating(nodes, net, DpaConfig::dpa(8), opts, DIFF_PHASES, mk, collect)
+            };
+            mig_outcome(reports, snap_sets, Digest::Ints(sums))
+        }
+        "graph-mig" => {
+            // The closure under dominant-consumer migration: the hub has
+            // *many* consumers and no dominant one, so the affinity pass
+            // faces its adversarial case (any pick strands the rest on the
+            // forwarding path).
+            let world = w.graph.clone();
+            let nodes = world.params.nodes;
+            let mut sums = vec![0u64; 2 * MIG_PHASES * nodes as usize];
+            let (reports, snap_sets, _) = run_phase_migrating(
+                nodes,
+                net,
+                DpaConfig::dpa_migrating(8),
+                opts,
+                MIG_PHASES,
+                |ph, i| GraphApp::new(world.clone(), i, ph as u32),
+                |ph, i, app: &GraphApp| {
+                    let at = 2 * (ph * nodes as usize + i as usize);
+                    sums[at] = app.sum;
+                    sums[at + 1] = app.reached;
+                },
+            );
+            mig_outcome(reports, snap_sets, Digest::Ints(sums))
+        }
+        "setops" => {
+            // Mixed insert/delete/range batches; range probes are
+            // power-law-hot toward node 0's buckets, and the mutations
+            // ride the remote-reduction path (exactly-once under dup).
+            let world = w.setops.clone();
+            let nodes = world.params.nodes;
+            let mut sums = vec![0u64; 3 * nodes as usize];
+            let (report, snaps) = run_phase_dst(
+                nodes,
+                net,
+                DpaConfig::dpa(8),
+                opts,
+                |i| SetopsApp::new(world.clone(), i),
+                |i, app: &SetopsApp| {
+                    let at = 3 * i as usize;
+                    sums[at] = app.range_sum;
+                    sums[at + 1] = app.final_digest();
+                    sums[at + 2] = app.applied;
+                },
+            );
+            one_outcome(report, snaps, Digest::Ints(sums))
         }
         "synth-dpa" | "synth-caching" => {
             let cfg = if workload == "synth-dpa" {

@@ -36,7 +36,7 @@ use bench::dst::{
 };
 use dpa_core::DstOptions;
 
-const DIFF_WORKLOADS: &[&str] = &["synth-diff", "bh-diff"];
+const DIFF_WORKLOADS: &[&str] = &["synth-diff", "bh-diff", "graph"];
 
 fn opts(plan: &str, seed: u64) -> DstOptions {
     DstOptions {

@@ -78,6 +78,13 @@ pub struct NodeSnapshot {
     pub reply_sent: u64,
     /// Owner-side reply entries still buffered in the reply scheduler.
     pub reply_buffered: usize,
+    /// Per-pointer reply accounting for this node's hottest keys:
+    /// `(pointer bits, entries pushed, entries sent)`, hottest first.
+    /// On a completed run with the scheduler drained, pushed must equal
+    /// sent for every key — the hot-hub conservation oracle (aggregate
+    /// counters can mask a bug that drops a hub entry while inventing
+    /// one for a cold key).
+    pub reply_hot: Vec<(u64, u64, u64)>,
     /// Request messages sent (per-path message accounting).
     pub request_msgs: u64,
     /// Reply messages sent.
@@ -177,6 +184,21 @@ pub enum Violation {
         sent: u64,
         /// Reply entries still buffered.
         buffered: usize,
+    },
+    /// Per-key reply conservation broken on a completed run with the
+    /// reply scheduler drained: entries pushed for one hot pointer ≠
+    /// entries sent for it. The aggregate [`Violation::ReplyPathLeak`]
+    /// law can balance while a hub's entry is swallowed and a cold key's
+    /// invented; this pins the loss to the key.
+    HotKeyReplyLeak {
+        /// Offending node.
+        node: u16,
+        /// Raw pointer bits of the unbalanced key.
+        ptr: u64,
+        /// Entries pushed for this key.
+        pushed: u64,
+        /// Entries sent for this key.
+        sent: u64,
     },
     /// Requests issued ≠ objects installed + still outstanding: a reply
     /// was double-installed or an install happened unsolicited.
@@ -357,6 +379,15 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "n{node}: request conservation broken: pushed {pushed} != sent {sent} + buffered {buffered}"
+            ),
+            Violation::HotKeyReplyLeak {
+                node,
+                ptr,
+                pushed,
+                sent,
+            } => write!(
+                f,
+                "n{node}: hot-key reply conservation broken for ptr {ptr:#x}: pushed {pushed} != sent {sent}"
             ),
             Violation::ReplyLeak {
                 node,
@@ -577,6 +608,24 @@ pub fn check_completed(snaps: &[NodeSnapshot], lossy: bool) -> Vec<Violation> {
                 mig: s.mig_buffered,
             });
         }
+        // Hot-key conservation: with the reply scheduler drained every
+        // tracked key must balance exactly (per-key buffered counts are
+        // not tracked, so the law is only provable once reply_buffered
+        // is zero — when it is not, BufferNotDrained above already
+        // fires). Holds on lossy runs too: these counters advance at the
+        // owner before the wire can drop anything.
+        if s.reply_buffered == 0 {
+            for &(ptr, pushed, sent) in &s.reply_hot {
+                if pushed != sent {
+                    out.push(Violation::HotKeyReplyLeak {
+                        node: s.node,
+                        ptr,
+                        pushed,
+                        sent,
+                    });
+                }
+            }
+        }
         // Differential laws hold on any completed run, lossy or not: a
         // dropped PhaseDelta keeps its consumer gated (the phase stalls
         // rather than completing), so completion implies every delta
@@ -728,6 +777,48 @@ mod tests {
             v[0],
             Violation::BufferNotDrained { node: 2, reply: 2, .. }
         ));
+    }
+
+    #[test]
+    fn hot_key_reply_leak_detected() {
+        // Balanced hot keys on a drained scheduler: clean.
+        let mut s = clean(1);
+        s.reply_hot = vec![(0x42, 7, 7), (0x43, 3, 3)];
+        assert!(check_completed(std::slice::from_ref(&s), false).is_empty());
+        // A hub entry swallowed while a cold key invented one: the
+        // aggregate reply-path law still balances (10 == 10), only the
+        // per-key oracle sees it.
+        let mut s = clean(1);
+        s.reply_hot = vec![(0x42, 7, 6), (0x43, 3, 4)];
+        let v = check_completed(std::slice::from_ref(&s), false);
+        assert_eq!(v.len(), 2);
+        assert!(matches!(
+            v[0],
+            Violation::HotKeyReplyLeak {
+                node: 1,
+                ptr: 0x42,
+                pushed: 7,
+                sent: 6
+            }
+        ));
+        let msg = v[0].to_string();
+        assert!(msg.contains("hot-key") && msg.contains("0x42"), "{msg}");
+        // The law also holds on completed lossy runs (counters advance
+        // at the owner, before the wire can drop anything).
+        assert_eq!(check_completed(std::slice::from_ref(&s), true).len(), 2);
+        // An undrained scheduler makes the per-key law unprovable:
+        // BufferNotDrained fires instead, not a per-key false positive.
+        let mut s = clean(1);
+        s.reply_pushed = 12;
+        s.reply_buffered = 2;
+        s.reply_hot = vec![(0x42, 9, 7)];
+        let v = check_completed(std::slice::from_ref(&s), false);
+        assert!(v
+            .iter()
+            .all(|v| !matches!(v, Violation::HotKeyReplyLeak { .. })));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::BufferNotDrained { .. })));
     }
 
     #[test]

@@ -213,6 +213,13 @@ pub struct DpaProc<A: PtrApp> {
     reply_entries_pushed: u64,
     /// Reply entries put on the wire (conservation vs. pushes).
     reply_entries_sent: u64,
+    /// Per-pointer reply accounting `(pushed, sent)` — the hot-key
+    /// conservation oracle. A skewed workload funnels most reply traffic
+    /// through a few hub objects; this map proves no per-key entry is
+    /// lost or invented across the scheduler, immediate-service, and
+    /// orphan paths (the aggregate counters above would mask a bug that
+    /// drops a hub entry while inventing one elsewhere).
+    reply_ptr_acct: FxHashMap<GPtr, (u64, u64)>,
     /// `(sender, seq)` pairs of Update messages already applied; makes
     /// reduction application idempotent under duplicated delivery.
     seen_updates: FxHashSet<(u16, u64)>,
@@ -318,6 +325,7 @@ impl<A: PtrApp> DpaProc<A> {
             update_entries_sent: 0,
             reply_entries_pushed: 0,
             reply_entries_sent: 0,
+            reply_ptr_acct: FxHashMap::default(),
             seen_updates: FxHashSet::default(),
             emit_buf: Vec::new(),
             wake_scheduled: false,
@@ -495,6 +503,15 @@ impl<A: PtrApp> DpaProc<A> {
             ),
             None => (Vec::new(), Vec::new()),
         };
+        // Hottest reply keys by entries pushed, ties broken by pointer
+        // bits so the export (and thus DST fingerprints) is deterministic.
+        let mut reply_hot: Vec<(u64, u64, u64)> = self
+            .reply_ptr_acct
+            .iter()
+            .map(|(p, &(pushed, sent))| (p.bits(), pushed, sent))
+            .collect();
+        reply_hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        reply_hot.truncate(8);
         NodeSnapshot {
             node,
             map_keys: self.map.keys(),
@@ -514,6 +531,7 @@ impl<A: PtrApp> DpaProc<A> {
             reply_pushed: self.reply_entries_pushed,
             reply_sent: self.reply_entries_sent,
             reply_buffered: self.reply_coal.pending(),
+            reply_hot,
             request_msgs: self.request_msgs,
             reply_msgs: self.reply_msgs,
             update_msgs: self.update_msgs,
@@ -644,6 +662,9 @@ impl<A: PtrApp> DpaProc<A> {
     fn send_reply(&mut self, ctx: &mut Ctx<'_, DpaMsg>, dst: u16, batch: Vec<(GPtr, u32)>) {
         self.reply_msgs += 1;
         self.reply_entries_sent += batch.len() as u64;
+        for &(p, _) in &batch {
+            self.reply_ptr_acct.entry(p).or_default().1 += 1;
+        }
         crate::owner::send_reply_batch(&self.cfg, ctx, NodeId(dst), batch);
     }
 
@@ -655,6 +676,7 @@ impl<A: PtrApp> DpaProc<A> {
             crate::owner::lookup_entries(&self.app, &self.cfg, ctx, ptrs, self.mig.as_ref())
         {
             self.reply_entries_pushed += 1;
+            self.reply_ptr_acct.entry(p).or_default().0 += 1;
             let entry_bytes = (size + GPtr::WIRE_BYTES) as u64;
             for batch in self.reply_coal.push(src.0, (p, size), entry_bytes, now) {
                 self.send_reply(ctx, src.0, batch);
@@ -882,6 +904,11 @@ impl<A: PtrApp> DpaProc<A> {
             self.reply_msgs += acct.msgs;
             self.reply_entries_pushed += acct.entries;
             self.reply_entries_sent += acct.entries;
+            for &p in &ptrs {
+                let e = self.reply_ptr_acct.entry(p).or_default();
+                e.0 += 1;
+                e.1 += 1;
+            }
         }
         self.coal.recycle(ptrs);
     }
@@ -1176,6 +1203,11 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                     self.reply_msgs += acct.msgs;
                     self.reply_entries_pushed += acct.entries;
                     self.reply_entries_sent += acct.entries;
+                    for &p in &ptrs {
+                        let e = self.reply_ptr_acct.entry(p).or_default();
+                        e.0 += 1;
+                        e.1 += 1;
+                    }
                 }
                 // The consumed payload buffer seeds this node's own request
                 // coalescer: in steady state request traffic is
@@ -1273,6 +1305,9 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                     let batch = orphan_replies.remove(&dst).expect("key from this map");
                     ctx.charge_overhead(self.cfg.cost.owner_lookup_ns * batch.len() as u64);
                     self.reply_entries_pushed += batch.len() as u64;
+                    for &(p, _) in &batch {
+                        self.reply_ptr_acct.entry(p).or_default().0 += 1;
+                    }
                     self.send_reply(ctx, dst, batch);
                 }
                 self.peak_stack = self.peak_stack.max(self.stack.len() as u64);

@@ -462,3 +462,100 @@ fn migration_and_strip_size_preserve_checksums() {
         }
     }
 }
+
+/// Issue-9 regression: a single hot hub whose record spans several packets
+/// and whose reply fan-out exceeds the owner's entry window. The owner must
+/// force out partial batches (window overflow), segment the hub record at
+/// the MTU, and still balance both the aggregate reply-path law and the
+/// per-key hot-hub ledger — with the extra packets charged honestly, never
+/// dropped from the accounting.
+#[test]
+fn hot_hub_reply_fanout_exceeds_entry_window() {
+    use dpa::apps::graph_dist::{GraphApp, GraphParams, GraphWorld};
+    use dpa::fastmsg::{packets_for, Mtu};
+
+    // Vertex 0 (node 0) gets degree 2 + 120 = 122 edges: a 504-byte record
+    // that spans 4+ packets at Mtu(128), while tail vertices stay tiny.
+    let params = GraphParams {
+        n: 64,
+        nodes: 4,
+        degree: 2,
+        skew: 1.8,
+        hub_extra: 120,
+        phases: 1,
+        rewire_permille: 0,
+        root_stride: 3,
+        seed: 0x040B_1337,
+    };
+    let world = GraphWorld::build(params);
+    let hub = world.vptr(0);
+    let hub_entry = world.vertex_bytes(0) + GPtr::WIRE_BYTES;
+    let mtu = Mtu(128);
+    assert!(
+        packets_for(hub_entry, mtu) >= 3,
+        "fixture lost its point: hub entry is {hub_entry}B, not multi-packet at {}B",
+        mtu.0
+    );
+    let expected: Vec<(u64, u64)> = (0..4).map(|i| world.expected(0, i)).collect();
+
+    let run = |mtu: Mtu, faults: FaultPlan| {
+        let cfg = DpaConfig {
+            mtu,
+            reply_agg_window: 2, // hub fan-out (3 consumers x many entries) overflows this
+            ..DpaConfig::dpa(4)
+        };
+        let mut got = vec![(0u64, 0u64); 4];
+        let opts = DstOptions {
+            faults,
+            ..DstOptions::default()
+        };
+        let (report, snaps) = run_phase_dst(
+            4,
+            NetConfig::default(),
+            cfg,
+            &opts,
+            |i| GraphApp::new(world.clone(), i, 0),
+            |i, app: &GraphApp| got[i as usize] = (app.sum, app.reached),
+        );
+        assert!(report.completed, "stalled: {}", report.stall_summary());
+        assert_eq!(got, expected, "closure checksum diverged at mtu {}", mtu.0);
+        let v = check_completed(&snaps, false);
+        assert!(v.is_empty(), "mtu {}: {}", mtu.0, v[0]);
+        for s in &snaps {
+            assert_eq!(
+                s.reply_pushed,
+                s.reply_sent + s.reply_buffered as u64,
+                "reply scheduler leaked on n{}",
+                s.node
+            );
+        }
+        // The hub is node 0's hottest reply key, served at least once to
+        // every remote node, and its per-key ledger balances exactly.
+        let hot = &snaps[0].reply_hot;
+        let (_, pushed, sent) = *hot
+            .iter()
+            .find(|&&(bits, _, _)| bits == hub.bits())
+            .unwrap_or_else(|| panic!("hub missing from node-0 hot keys: {hot:?}"));
+        assert_eq!(pushed, sent, "hub reply ledger unbalanced");
+        assert!(pushed >= 3, "hub fan-out {pushed} < one serve per remote node");
+        (report, snaps)
+    };
+
+    let (narrow, _) = run(mtu, FaultPlan::none());
+    let (wide, _) = run(Mtu(4096), FaultPlan::none());
+    // Honest multi-packet accounting: the narrow-MTU run segments the hub
+    // record (and every over-window batch) into strictly more packets, and
+    // every extra packet is charged as owner overhead — so total overhead
+    // must strictly exceed the single-packet-per-message run's.
+    let over = |r: &dpa::sim_net::RunReport| r.stats.sum(|s| s.overhead.as_ns());
+    assert!(
+        over(&narrow) > over(&wide),
+        "extra packets not charged: narrow-MTU overhead {} <= wide-MTU {}",
+        over(&narrow),
+        over(&wide)
+    );
+
+    // Duplicated delivery double-serves requests; pushed and sent advance
+    // together, so the per-key ledger must still balance.
+    run(mtu, FaultPlan::duplicate(0xD0B, 0.5));
+}

@@ -1,0 +1,200 @@
+//! Checksum-invariance battery for the skew-adversarial graph workload:
+//! the semi-naive transitive-closure checksums must be bit-identical
+//! across every config lane — fixed and adaptive strips, migration on and
+//! off, differential re-alignment on and off — because none of those knobs
+//! is allowed to change *what* is computed, only when and where. Mirrors
+//! `tests/stripctl.rs`; the `DPA_SIM_QUEUE` / `DPA_SIM_THREADS` lanes come
+//! from the CI matrix running this whole file under each engine.
+
+use dpa::apps::graph_dist::{GraphApp, GraphParams, GraphWorld};
+use dpa::runtime::{
+    check_completed, run_phase_differential, run_phase_migrating, AdaptiveStrip, DpaConfig,
+    DstOptions, StripMode,
+};
+use dpa::sim_net::NetConfig;
+
+const PHASES: usize = 3;
+const NODES: u16 = 4;
+
+/// One lane: run the closure over `PHASES` timesteps under `cfg`, return
+/// per-(phase, node) `(checksum, reached)` pairs, and hold the invariant
+/// oracles clean. `differential` picks the driver.
+fn run_lane(
+    world: &std::sync::Arc<GraphWorld>,
+    label: &str,
+    cfg: DpaConfig,
+    differential: bool,
+) -> (Vec<(u64, u64)>, Vec<Vec<dpa::runtime::NodeSnapshot>>) {
+    let mut sums = vec![(0u64, 0u64); PHASES * NODES as usize];
+    let mk = |ph: usize, i: u16| GraphApp::new(world.clone(), i, ph as u32);
+    let collect = |ph: usize, i: u16, app: &GraphApp| {
+        sums[ph * NODES as usize + i as usize] = (app.sum, app.reached);
+    };
+    let (reports, snap_sets, _) = if differential {
+        run_phase_differential(
+            NODES,
+            NetConfig::default(),
+            cfg,
+            &DstOptions::default(),
+            PHASES,
+            mk,
+            collect,
+        )
+    } else {
+        run_phase_migrating(
+            NODES,
+            NetConfig::default(),
+            cfg,
+            &DstOptions::default(),
+            PHASES,
+            mk,
+            collect,
+        )
+    };
+    assert!(reports.iter().all(|r| r.completed), "{label}: stalled");
+    for snaps in &snap_sets {
+        let v = check_completed(snaps, false);
+        assert!(v.is_empty(), "{label}: {}", v[0]);
+    }
+    (sums, snap_sets)
+}
+
+/// Fixed strips {1, 16, 128}, the adaptive controller, migration, and
+/// differential re-alignment (alone and composed) all agree bit-for-bit on
+/// the closure checksums of a mutable power-law graph — including the
+/// hot-hub generation stamps the checksum folds in — and every lane's
+/// runtime-state snapshot passes the full invariant check (hot-key reply
+/// conservation included).
+#[test]
+fn graph_checksums_invariant_across_config_lanes() {
+    // root_stride = 1: every owned vertex seeds a closure, so each node
+    // runs 32 iterations per phase — enough to cross several adaptive
+    // strip boundaries (the controller retunes every `strip` completions,
+    // starting near the geometric mean of its bounds).
+    let world = GraphWorld::build(GraphParams {
+        n: 128,
+        root_stride: 1,
+        seed: 0x06EA_9D57,
+        ..GraphParams::default()
+    });
+    let adaptive = StripMode::Adaptive(AdaptiveStrip {
+        min: 2,
+        max: 64,
+        ..AdaptiveStrip::default()
+    });
+    // (label, cfg, differential-driver)
+    let lanes: Vec<(String, DpaConfig, bool)> = vec![
+        ("strip=1".into(), DpaConfig::dpa(1), false),
+        ("strip=16".into(), DpaConfig::dpa(16), false),
+        ("strip=128".into(), DpaConfig::dpa(128), false),
+        ("mig".into(), DpaConfig::dpa_migrating(8), false),
+        (
+            "adaptive".into(),
+            DpaConfig {
+                strip_mode: adaptive,
+                ..DpaConfig::dpa(1)
+            },
+            false,
+        ),
+        (
+            "adaptive+mig".into(),
+            DpaConfig {
+                strip_mode: adaptive,
+                ..DpaConfig::dpa_migrating(1)
+            },
+            false,
+        ),
+        ("diff".into(), DpaConfig::dpa_differential(8), true),
+        (
+            "adaptive+diff".into(),
+            DpaConfig {
+                strip_mode: adaptive,
+                ..DpaConfig::dpa_differential(1)
+            },
+            true,
+        ),
+        (
+            "diff+mig".into(),
+            DpaConfig {
+                migration_epoch_ns: DpaConfig::dpa_migrating(8).migration_epoch_ns,
+                ..DpaConfig::dpa_differential(8)
+            },
+            true,
+        ),
+    ];
+    let mut baseline: Option<Vec<(u64, u64)>> = None;
+    for (label, cfg, differential) in lanes {
+        let (sums, snap_sets) = run_lane(&world, &label, cfg, differential);
+        if label.starts_with("adaptive") {
+            let retuned = snap_sets
+                .iter()
+                .flatten()
+                .any(|s| s.strip_schedule.len() > 1);
+            assert!(retuned, "{label}: no strip boundary was ever crossed");
+        }
+        match &baseline {
+            None => baseline = Some(sums),
+            Some(b) => assert_eq!(&sums, b, "{label}: checksums diverged"),
+        }
+    }
+    // The checksums also match the host oracle: this battery compares
+    // against ground truth, not just lane-to-lane.
+    let expect = baseline.expect("at least one lane ran");
+    for ph in 0..PHASES {
+        for node in 0..NODES {
+            assert_eq!(
+                expect[ph * NODES as usize + node as usize],
+                world.expected(ph as u32, node),
+                "phase {ph} node {node}: lanes agree with each other but not the oracle"
+            );
+        }
+    }
+}
+
+/// Same battery for the setops workload, single phase: fixed and adaptive
+/// strips and migration must leave the range sums and the final membership
+/// digest bit-identical and equal to the host oracle.
+#[test]
+fn setops_checksums_invariant_across_config_lanes() {
+    use dpa::apps::setops_dist::{SetopsApp, SetopsParams, SetopsWorld};
+    use dpa::runtime::run_phase_dst;
+    let world = SetopsWorld::build(SetopsParams {
+        universe: 2048,
+        ops_per_node: 32,
+        seed: 0x05E7_0D57,
+        ..SetopsParams::default()
+    });
+    let adaptive = StripMode::Adaptive(AdaptiveStrip {
+        min: 2,
+        max: 64,
+        ..AdaptiveStrip::default()
+    });
+    let lanes: Vec<(String, DpaConfig)> = vec![
+        ("strip=1".into(), DpaConfig::dpa(1)),
+        ("strip=32".into(), DpaConfig::dpa(32)),
+        ("mig".into(), DpaConfig::dpa_migrating(8)),
+        (
+            "adaptive".into(),
+            DpaConfig {
+                strip_mode: adaptive,
+                ..DpaConfig::dpa(1)
+            },
+        ),
+    ];
+    let expected: Vec<(u64, u64)> = (0..NODES).map(|n| world.expected(n)).collect();
+    for (label, cfg) in lanes {
+        let mut got = vec![(0u64, 0u64); NODES as usize];
+        let (report, snaps) = run_phase_dst(
+            NODES,
+            NetConfig::default(),
+            cfg,
+            &DstOptions::default(),
+            |i| SetopsApp::new(world.clone(), i),
+            |i, app: &SetopsApp| got[i as usize] = (app.range_sum, app.final_digest()),
+        );
+        assert!(report.completed, "{label}: stalled");
+        let v = check_completed(&snaps, false);
+        assert!(v.is_empty(), "{label}: {}", v[0]);
+        assert_eq!(got, expected, "{label}: diverged from the host oracle");
+    }
+}

@@ -475,6 +475,213 @@ proptest! {
         }
     }
 
+    /// The power-law graph generator is a pure function of its params:
+    /// two builds agree edge-for-edge and generation-for-generation, and
+    /// the distributed closure over the same world is bit-identical
+    /// across event-queue engines and simulator thread counts.
+    #[test]
+    fn graph_generator_deterministic_across_engines(
+        seed in any::<u64>(),
+        n in 24usize..80,
+        degree in 1usize..4,
+    ) {
+        use dpa::apps::graph_dist::{GraphApp, GraphParams, GraphWorld};
+        use dpa::sim_net::QueueKind;
+        let params = GraphParams { n, degree, seed, ..GraphParams::default() };
+        let a = GraphWorld::build(params);
+        let b = GraphWorld::build(params);
+        for ph in 0..3u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(a.out(ph, v), b.out(ph, v), "phase {} vertex {}", ph, v);
+                prop_assert_eq!(a.gen_at(ph, v), b.gen_at(ph, v));
+            }
+        }
+        let mut baseline: Option<[(u64, u64); 4]> = None;
+        for (queue, threads) in [
+            (QueueKind::Wheel, 1usize),
+            (QueueKind::ShadowHeap, 1),
+            (QueueKind::Wheel, 4),
+        ] {
+            let opts = DstOptions { queue, threads, ..DstOptions::default() };
+            let mut got = [(0u64, 0u64); 4];
+            let (report, snaps) = run_phase_dst(
+                4,
+                NetConfig::default(),
+                DpaConfig::dpa(4),
+                &opts,
+                |i| GraphApp::new(a.clone(), i, 1),
+                |i, app: &GraphApp| got[i as usize] = (app.sum, app.reached),
+            );
+            prop_assert!(report.completed, "stalled: {}", report.stall_summary());
+            let v = check_completed(&snaps, false);
+            prop_assert!(v.is_empty(), "violation: {}", v[0]);
+            match &baseline {
+                None => baseline = Some(got),
+                Some(base) => prop_assert_eq!(
+                    &got, base, "engine ({:?}, {} threads) diverged", queue, threads
+                ),
+            }
+        }
+    }
+
+    /// Degree-distribution sanity above skew 1.5: the generator really
+    /// produces a hub — vertex 0's in-degree dominates the mean, and its
+    /// record is fatter than the tail's.
+    #[test]
+    fn graph_skew_produces_a_hub(
+        seed in any::<u64>(),
+        n in 48usize..160,
+        skew in 1.5f64..2.5,
+    ) {
+        use dpa::apps::graph_dist::{GraphParams, GraphWorld};
+        let w = GraphWorld::build(GraphParams { n, skew, seed, ..GraphParams::default() });
+        let indeg = w.in_degrees(0);
+        let max = *indeg.iter().max().expect("non-empty");
+        let hub = indeg.iter().position(|&d| d == max).expect("max exists") as u32;
+        let mean = indeg.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+        prop_assert!(
+            max as f64 > 3.0 * mean,
+            "no hub at skew {}: max in-degree {} vs mean {:.1}", skew, max, mean
+        );
+        // The hub is an early (low-index) vertex with an outsized record.
+        prop_assert!(hub < (n / 8).max(1) as u32, "hub {} not in the head", hub);
+        let tail = w.vertex_bytes(n as u32 - 1);
+        prop_assert!(
+            w.vertex_bytes(0) > 2 * tail,
+            "hub record {}B not outsized vs tail {}B", w.vertex_bytes(0), tail
+        );
+    }
+
+    /// The distributed semi-naive closure equals an *independent*
+    /// sequential reference (Floyd–Warshall reachability, not the world's
+    /// own BFS oracle) on small graphs, at a mutated as well as the
+    /// initial phase.
+    #[test]
+    fn graph_closure_matches_sequential_reference(
+        seed in any::<u64>(),
+        n in 16usize..48,
+        phase in 0u32..3,
+    ) {
+        use dpa::apps::graph_dist::{GraphApp, GraphParams, GraphWorld};
+        use dpa::runtime::DiffPlan;
+        let w = GraphWorld::build(GraphParams { n, seed, ..GraphParams::default() });
+        // Reference closure: boolean reachability matrix of this phase's
+        // edge lists, closed by Floyd–Warshall.
+        let mut reach = vec![false; n * n];
+        for v in 0..n {
+            reach[v * n + v] = true;
+            for &t in w.out(phase, v as u32) {
+                reach[v * n + t as usize] = true;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i * n + k] {
+                    for j in 0..n {
+                        if reach[k * n + j] {
+                            reach[i * n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut got = [(0u64, 0u64); 4];
+        let (report, _) = run_phase_dst(
+            4,
+            NetConfig::default(),
+            DpaConfig::dpa(4),
+            &DstOptions::default(),
+            |i| GraphApp::new(w.clone(), i, phase),
+            |i, app: &GraphApp| got[i as usize] = (app.sum, app.reached),
+        );
+        prop_assert!(report.completed, "stalled: {}", report.stall_summary());
+        for node in 0..4u16 {
+            let mut sum = 0u64;
+            let mut reached = 0u64;
+            for root in w.roots(node) {
+                for v in 0..n {
+                    if reach[root as usize * n + v] {
+                        sum = sum.wrapping_add(DiffPlan::stamp(
+                            w.vptr(v as u32),
+                            w.gen_at(phase, v as u32),
+                        ));
+                        reached += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(
+                got[node as usize], (sum, reached),
+                "node {} closure diverged from Floyd–Warshall reference", node
+            );
+        }
+    }
+
+    /// The distributed setops run agrees with a `BTreeSet` model: range
+    /// sums against the initial set, final membership after applying every
+    /// node's (machine-wide distinct) insert/delete batch.
+    #[test]
+    fn setops_matches_btreeset_model(
+        seed in any::<u64>(),
+        universe in 256u64..1024,
+        ops_per_node in 8usize..48,
+        fill in 100u32..900,
+    ) {
+        use dpa::apps::setops_dist::{key_stamp, SetOp, SetopsApp, SetopsParams, SetopsWorld};
+        use std::collections::BTreeSet;
+        let ops_per_node = ops_per_node.min(universe as usize / 4);
+        let w = SetopsWorld::build(SetopsParams {
+            universe,
+            ops_per_node,
+            fill_permille: fill,
+            seed,
+            ..SetopsParams::default()
+        });
+        let initial: BTreeSet<u64> =
+            (0..universe).filter(|&k| w.initially_present(k)).collect();
+        // Model: ranges read the initial set (phase-immutable reads);
+        // mutations land at the barrier. Keys are machine-wide distinct,
+        // so application order cannot matter.
+        let mut model = initial.clone();
+        let mut model_range = [0u64; 4];
+        for node in 0..4u16 {
+            for op in w.batch(node) {
+                match *op {
+                    SetOp::Insert(k) => { model.insert(k); }
+                    SetOp::Delete(k) => { model.remove(&k); }
+                    SetOp::Range(lo, hi) => {
+                        for &k in initial.range(lo..hi) {
+                            model_range[node as usize] =
+                                model_range[node as usize].wrapping_add(key_stamp(k));
+                        }
+                    }
+                }
+            }
+        }
+        let mut got = [(0u64, 0u64); 4];
+        let (report, snaps) = run_phase_dst(
+            4,
+            NetConfig::default(),
+            DpaConfig::dpa(4),
+            &DstOptions::default(),
+            |i| SetopsApp::new(w.clone(), i),
+            |i, app: &SetopsApp| got[i as usize] = (app.range_sum, app.final_digest()),
+        );
+        prop_assert!(report.completed, "stalled: {}", report.stall_summary());
+        let v = check_completed(&snaps, false);
+        prop_assert!(v.is_empty(), "violation: {}", v[0]);
+        for node in 0..4u16 {
+            let digest: u64 = model
+                .iter()
+                .filter(|&&k| w.bucket_range(node).contains(&w.bucket_of(k)))
+                .fold(0u64, |acc, &k| acc.wrapping_add(key_stamp(k)));
+            prop_assert_eq!(
+                got[node as usize],
+                (model_range[node as usize], digest),
+                "node {} diverged from the BTreeSet model", node
+            );
+        }
+    }
+
     /// Octrees contain every body exactly once and match direct gravity
     /// at θ = 0.
     #[test]
