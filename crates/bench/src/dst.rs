@@ -50,6 +50,12 @@ pub const SMOKE_PLANS: &[&str] = &["none", "drop"];
 /// `graph-mig` runs the same closure multi-phase with migration chasing
 /// the hot hub (many consumers, no dominant one); `setops` is the
 /// batch-parallel ordered-set workload with power-law-hot range queries.
+/// The `-repl` workloads run under **read-mostly replication**
+/// ([`DpaConfig::dpa_replicating`]): the hot hub is promoted at a phase
+/// boundary, broadcast to its consumer set, and every fault-plan hazard
+/// (dropped broadcast, duplicated broadcast, delayed delta) must leave
+/// the digests bit-identical or produce a diagnosable stall — never a
+/// stale read.
 pub const WORKLOADS: &[&str] = &[
     "synth-dpa",
     "synth-caching",
@@ -64,6 +70,8 @@ pub const WORKLOADS: &[&str] = &[
     "bh-diff",
     "graph",
     "graph-mig",
+    "graph-repl",
+    "bh-repl",
     "setops",
 ];
 /// Adaptive strip bounds for the `-adapt` workloads (deliberately tight:
@@ -394,6 +402,65 @@ pub fn run_one_mode(w: &Worlds, workload: &str, opts: &DstOptions, differential:
                 run_phase_migrating(nodes, net, DpaConfig::dpa(8), opts, DIFF_PHASES, mk, collect)
             };
             mig_outcome(reports, snap_sets, Digest::Ints(sums))
+        }
+        "graph-repl" => {
+            // The closure under read-mostly replication: the hub crosses
+            // the promotion bar at the first boundary (every non-owner
+            // consumes it, none dominates), so later phases read it from
+            // local replicas. A dropped broadcast must degrade to a demand
+            // fetch or a delta-gate stall; a duplicated one must dedup on
+            // `(sender, seq)` — either way the checksums cannot move.
+            let world = w.graph.clone();
+            let nodes = world.params.nodes;
+            let mut sums = vec![0u64; 2 * DIFF_PHASES * nodes as usize];
+            let mk = |ph: usize, i: u16| GraphApp::new(world.clone(), i, ph as u32);
+            let collect = |ph: usize, i: u16, app: &GraphApp| {
+                let at = 2 * (ph * nodes as usize + i as usize);
+                sums[at] = app.sum;
+                sums[at + 1] = app.reached;
+            };
+            let (reports, snap_sets, _) = if differential {
+                run_phase_differential(
+                    nodes,
+                    net,
+                    DpaConfig::dpa_replicating(8),
+                    opts,
+                    DIFF_PHASES,
+                    mk,
+                    collect,
+                )
+            } else {
+                run_phase_migrating(nodes, net, DpaConfig::dpa(8), opts, DIFF_PHASES, mk, collect)
+            };
+            mig_outcome(reports, snap_sets, Digest::Ints(sums))
+        }
+        "bh-repl" => {
+            // Barnes-Hut under replication: the octree root and the hot
+            // upper-level cells are the replication candidates, and the
+            // value-change schedule (not topology) advances generations —
+            // the complementary staleness source to `graph-repl`.
+            let world = w.bh.clone();
+            let nodes = world.nodes;
+            let plan = diff_plan();
+            let mut hashes = vec![0u64; DIFF_PHASES * nodes as usize];
+            let mk = |ph: usize, i: u16| BhApp::new_diff(world.clone(), i, plan.at_phase(ph as u32));
+            let collect = |ph: usize, i: u16, app: &BhApp| {
+                hashes[ph * nodes as usize + i as usize] = app.interaction_hash;
+            };
+            let (reports, snap_sets, _) = if differential {
+                run_phase_differential(
+                    nodes,
+                    net,
+                    DpaConfig::dpa_replicating(8),
+                    opts,
+                    DIFF_PHASES,
+                    mk,
+                    collect,
+                )
+            } else {
+                run_phase_migrating(nodes, net, DpaConfig::dpa(8), opts, DIFF_PHASES, mk, collect)
+            };
+            mig_outcome(reports, snap_sets, Digest::Ints(hashes))
         }
         "graph-mig" => {
             // The closure under dominant-consumer migration: the hub has

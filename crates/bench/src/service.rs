@@ -67,12 +67,20 @@ impl Default for DstJobRunner {
 }
 
 impl JobRunner for DstJobRunner {
-    fn run(&self, spec: &JobSpec, event_budget: u64) -> JobReport {
+    fn run(&self, spec: &JobSpec, event_budget: u64, wall_budget_ns: Option<u64>) -> JobReport {
+        // The tenant's remaining wall budget becomes a hard deadline the
+        // multi-phase drivers check at every phase boundary: a run that
+        // outlives it finishes the phase in flight, then stops with the
+        // same structured `budget_exhausted` stall as an event-budget
+        // reap — the shard comes back, the overrun is billed.
+        let wall_deadline = wall_budget_ns
+            .map(|ns| std::time::Instant::now() + std::time::Duration::from_nanos(ns));
         let opts = DstOptions {
             schedule_seed: Some(schedule_seed(spec.seed)),
             faults: plan_for(&spec.plan, spec.seed),
             threads: 1,
             max_events: event_budget,
+            wall_deadline,
             ..DstOptions::default()
         };
         let out = run_one(&self.worlds, &spec.workload, &opts);

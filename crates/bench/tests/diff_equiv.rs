@@ -11,7 +11,11 @@
 //! stale carried cache entry (a copy whose generation lags the object)
 //! must. A differential run that ever reads a stale carry therefore
 //! diverges from the from-scratch comparator here, in addition to
-//! tripping the `StaleCacheEntry` oracle inside [`check_run`].
+//! tripping the `StaleCacheEntry` oracle inside [`check_run`]. The
+//! `-repl` workloads extend the same bar to read-mostly replication: a
+//! replica installed by a broadcast is just another generation-stamped
+//! copy, so a stale replica read diverges here exactly like a stale
+//! carry would.
 //!
 //! Comparison rules per (workload, plan, seed):
 //!
@@ -36,7 +40,7 @@ use bench::dst::{
 };
 use dpa_core::DstOptions;
 
-const DIFF_WORKLOADS: &[&str] = &["synth-diff", "bh-diff", "graph"];
+const DIFF_WORKLOADS: &[&str] = &["synth-diff", "bh-diff", "graph", "graph-repl", "bh-repl"];
 
 fn opts(plan: &str, seed: u64) -> DstOptions {
     DstOptions {

@@ -64,7 +64,7 @@ fn pooled_shard_reports_match_fresh_runner_bitwise() {
             s.event_budget
         };
         // A fresh runner per job: no pooled worlds, no cached baselines.
-        let solo = DstJobRunner::new().run(s, budget);
+        let solo = DstJobRunner::new().run(s, budget, None);
         let pooled = JobReport {
             wall_ns: 0, // wall clock is the one legitimately nondeterministic field
             ..rec.report.clone()
@@ -97,8 +97,8 @@ fn one_runner_repeats_multiphase_jobs_identically() {
             event_budget: 0,
         };
         let budget = SchedConfig::default().job_event_budget;
-        let first = runner.run(&s, budget);
-        let second = runner.run(&s, budget);
+        let first = runner.run(&s, budget, None);
+        let second = runner.run(&s, budget, None);
         assert_eq!(first, second, "{workload}: repeat run diverged");
         assert_eq!(first.violations, 0, "{workload}: oracle violations");
     }

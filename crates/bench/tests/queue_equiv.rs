@@ -34,6 +34,7 @@ fn opts(plan: &str, seed: u64, queue: QueueKind) -> DstOptions {
         threads: 1,
         queue,
         max_events: u64::MAX,
+        wall_deadline: None,
     }
 }
 

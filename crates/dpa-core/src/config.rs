@@ -177,6 +177,16 @@ pub enum ConfigError {
     /// Migration with a zero threshold would migrate on the first remote
     /// touch, thrashing objects between nodes.
     ZeroMigrationThreshold,
+    /// Replication without differential re-alignment: only the carried
+    /// `(ptr,size,gen)` stamps and the `PhaseDelta` gate make a stale
+    /// replica a diagnosable stall instead of a silent wrong read.
+    ReplicationWithoutDifferential,
+    /// Replication without migration epochs: promotion reads the owner's
+    /// affinity fan-out, which only `Affinity` reports populate.
+    ReplicationWithoutMigration,
+    /// A replication knob set to a value that can never promote (zero
+    /// fan-out or zero read threshold). Names the offending knob.
+    ZeroReplicationKnob(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -199,6 +209,19 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroPollInterval => write!(f, "poll_interval_ns must be > 0"),
             ConfigError::ZeroMigrationThreshold => {
                 write!(f, "migration_threshold must be >= 1 when migration is enabled")
+            }
+            ConfigError::ReplicationWithoutDifferential => write!(
+                f,
+                "replication requires differential mode (the PhaseDelta gate is what \
+                 keeps a stale replica a stall, never a silent wrong read)"
+            ),
+            ConfigError::ReplicationWithoutMigration => write!(
+                f,
+                "replication requires migration epochs (promotion reads the affinity \
+                 fan-out that Affinity reports populate)"
+            ),
+            ConfigError::ZeroReplicationKnob(knob) => {
+                write!(f, "{knob} must be >= 1 when replication is enabled")
             }
         }
     }
@@ -277,6 +300,44 @@ pub struct DpaConfig {
     /// one-shot paper configurations are bit-for-bit unchanged. Driven by
     /// `run_phase_differential`.
     pub differential: bool,
+    /// Read-mostly pointer replication: the third alignment mode next to
+    /// caching and migration. At each phase boundary the driver promotes
+    /// pointers whose owner-side affinity shows high fan-out with no
+    /// dominant consumer and a read-mostly mix to *replicated*: the owner
+    /// broadcasts a generation-stamped copy (`Replicate`) to the consumer
+    /// set and subsequent remote reads hit the local replica with zero
+    /// messages. Writes still funnel through the owner (single-writer),
+    /// are counted per window, and demote the pointer past
+    /// [`replication_write_demote`](Self::replication_write_demote).
+    /// Requires `differential` (replicas ride the carry + `PhaseDelta`
+    /// gating) and migration epochs (the affinity signal); replicated
+    /// pointers are pinned against re-homing while replicated. Off by
+    /// default — every earlier configuration is bit-for-bit unchanged.
+    pub replication: bool,
+    /// Minimum distinct consumers with affinity signal before a pointer
+    /// can be promoted to replicated.
+    pub replication_min_fanout: usize,
+    /// Minimum total remote dereferences (summed over consumers) before
+    /// promotion.
+    pub replication_threshold: u64,
+    /// Maximum fresh promotions per owner per phase boundary. Bounds the
+    /// broadcast burst and the directory the way `migration_budget`
+    /// bounds shipments.
+    pub replication_budget: usize,
+    /// Writes per window past which a replicated pointer is demoted (the
+    /// read-mostly contract).
+    pub replication_write_demote: u64,
+    /// Per-consumer floor on affinity reporting: a node only reports a
+    /// pointer to its owner when its own dereference count for the window
+    /// reached this floor. `1` (the default) reports everything —
+    /// bit-identical to the pre-knob behaviour. The replicating preset
+    /// raises it so uniform background traffic (one or two touches per
+    /// consumer, already absorbed by differential carrying) never reaches
+    /// the promotion policy: hub-shaped pointers clear the floor on every
+    /// consumer, noise clears it on none, and the affinity report shrinks
+    /// from "every remote pointer touched" to "the pointers worth acting
+    /// on".
+    pub affinity_report_floor: u32,
 }
 
 impl Default for DpaConfig {
@@ -301,6 +362,12 @@ impl Default for DpaConfig {
             migration_threshold: 3,
             migration_budget: 64,
             differential: false,
+            replication: false,
+            replication_min_fanout: 3,
+            replication_threshold: 12,
+            replication_budget: 4,
+            replication_write_demote: 8,
+            affinity_report_floor: 1,
         }
     }
 }
@@ -374,9 +441,41 @@ impl DpaConfig {
         }
     }
 
+    /// Full DPA with read-mostly replication: differential barriers plus
+    /// the affinity signal, with a *conservative* migration threshold —
+    /// replication-first: an object only re-homes when one consumer
+    /// really dominates, while the broad-fan-out hub is promoted to
+    /// replicated at the first boundary and pinned. The migration epoch
+    /// is `u64::MAX` — *boundary-only* mode: no periodic epoch ever
+    /// fires, because the promotion policy only needs the final
+    /// per-phase affinity report (sent at phase end whenever migration
+    /// is on). Skipping the periodic reports keeps the preset's message
+    /// overhead down to that single report plus the broadcasts
+    /// themselves, and the raised
+    /// [`affinity_report_floor`](Self::affinity_report_floor) keeps even
+    /// that report hub-shaped: a consumer that touched a pointer fewer
+    /// than four times in the phase (uniform background, already covered
+    /// by the differential carry) reports nothing about it.
+    pub fn dpa_replicating(strip: usize) -> DpaConfig {
+        DpaConfig {
+            strip_mode: StripMode::Fixed(strip),
+            differential: true,
+            migration_epoch_ns: u64::MAX,
+            migration_threshold: 24,
+            replication: true,
+            affinity_report_floor: 4,
+            ..DpaConfig::default()
+        }
+    }
+
     /// `true` when locality-driven object migration is enabled.
     pub fn migration_enabled(&self) -> bool {
         self.migration_epoch_ns > 0
+    }
+
+    /// `true` when read-mostly pointer replication is enabled.
+    pub fn replication_enabled(&self) -> bool {
+        self.replication
     }
 
     /// `true` when the k-bound is feedback-controlled.
@@ -427,6 +526,23 @@ impl DpaConfig {
         if self.migration_enabled() && self.migration_threshold == 0 {
             return Err(ConfigError::ZeroMigrationThreshold);
         }
+        if self.replication {
+            if !self.differential {
+                return Err(ConfigError::ReplicationWithoutDifferential);
+            }
+            if !self.migration_enabled() {
+                return Err(ConfigError::ReplicationWithoutMigration);
+            }
+            if self.replication_min_fanout == 0 {
+                return Err(ConfigError::ZeroReplicationKnob("replication_min_fanout"));
+            }
+            if self.replication_threshold == 0 {
+                return Err(ConfigError::ZeroReplicationKnob("replication_threshold"));
+            }
+            if self.replication_budget == 0 {
+                return Err(ConfigError::ZeroReplicationKnob("replication_budget"));
+            }
+        }
         Ok(())
     }
 
@@ -476,9 +592,27 @@ impl DpaConfig {
                 } else {
                     ""
                 };
+                let repl = if self.replication {
+                    format!(
+                        ", replicate(fanout>={}, reads>={}, budget={}, demote>{}w, floor={})",
+                        self.replication_min_fanout,
+                        self.replication_threshold,
+                        self.replication_budget,
+                        self.replication_write_demote,
+                        self.affinity_report_floor
+                    )
+                } else {
+                    String::new()
+                };
                 format!(
-                    "DPA(strip={}, agg={}, reply_agg={}, pipeline={}{}{})",
-                    self.strip_mode, self.agg_window, self.reply_agg_window, self.pipeline, mig, diff
+                    "DPA(strip={}, agg={}, reply_agg={}, pipeline={}{}{}{})",
+                    self.strip_mode,
+                    self.agg_window,
+                    self.reply_agg_window,
+                    self.pipeline,
+                    mig,
+                    diff,
+                    repl
                 )
             }
             v => v.label().to_string(),
@@ -656,5 +790,81 @@ mod tests {
         assert!(d.validate().is_ok());
         assert!(d.describe().contains("differential"));
         assert!(!DpaConfig::dpa(50).describe().contains("differential"));
+    }
+
+    #[test]
+    fn replication_defaults_off_everywhere() {
+        // Every pre-existing preset must keep replication disabled so the
+        // paper baselines and all earlier figures are bit-for-bit
+        // unchanged.
+        for cfg in [
+            DpaConfig::default(),
+            DpaConfig::dpa(50),
+            DpaConfig::dpa_base(50),
+            DpaConfig::dpa_pipeline(50),
+            DpaConfig::dpa_adaptive(2, 64),
+            DpaConfig::dpa_migrating(50),
+            DpaConfig::dpa_differential(50),
+            DpaConfig::caching(),
+            DpaConfig::blocking(),
+            DpaConfig::sequential(),
+        ] {
+            assert!(!cfg.replication);
+            assert!(!cfg.replication_enabled());
+        }
+        let r = DpaConfig::dpa_replicating(50);
+        assert!(r.replication_enabled());
+        assert!(r.differential, "replicas ride the differential carry");
+        assert!(r.migration_enabled(), "promotion needs the affinity signal");
+        assert!(r.validate().is_ok());
+        assert!(r.describe().contains("replicate"));
+        assert!(!DpaConfig::dpa_differential(50).describe().contains("replicate"));
+    }
+
+    #[test]
+    fn replication_validation_requires_its_substrate() {
+        let no_diff = DpaConfig {
+            differential: false,
+            ..DpaConfig::dpa_replicating(50)
+        };
+        assert_eq!(
+            no_diff.validate(),
+            Err(ConfigError::ReplicationWithoutDifferential)
+        );
+        let no_mig = DpaConfig {
+            migration_epoch_ns: 0,
+            ..DpaConfig::dpa_replicating(50)
+        };
+        assert_eq!(
+            no_mig.validate(),
+            Err(ConfigError::ReplicationWithoutMigration)
+        );
+        let zero_fanout = DpaConfig {
+            replication_min_fanout: 0,
+            ..DpaConfig::dpa_replicating(50)
+        };
+        assert_eq!(
+            zero_fanout.validate(),
+            Err(ConfigError::ZeroReplicationKnob("replication_min_fanout"))
+        );
+        let zero_threshold = DpaConfig {
+            replication_threshold: 0,
+            ..DpaConfig::dpa_replicating(50)
+        };
+        assert_eq!(
+            zero_threshold.validate(),
+            Err(ConfigError::ZeroReplicationKnob("replication_threshold"))
+        );
+        let zero_budget = DpaConfig {
+            replication_budget: 0,
+            ..DpaConfig::dpa_replicating(50)
+        };
+        assert_eq!(
+            zero_budget.validate(),
+            Err(ConfigError::ZeroReplicationKnob("replication_budget"))
+        );
+        // The errors render actionably.
+        assert!(no_diff.validate().unwrap_err().to_string().contains("differential"));
+        assert!(no_mig.validate().unwrap_err().to_string().contains("affinity"));
     }
 }

@@ -10,7 +10,7 @@ use crate::proc_caching::CachingProc;
 use crate::proc_dpa::DpaProc;
 use crate::stripctl::StripController;
 use crate::work::{PtrApp, Tagged};
-use global_heap::{GPtr, MigrationTable};
+use global_heap::{GPtr, MigrationTable, ReplicaDirectory};
 use sim_net::{FaultPlan, Machine, NetConfig, NodeId, QueueKind, RunReport, Trace};
 
 /// Run one phase of `app` instances (one per node) under `cfg` on a
@@ -102,6 +102,15 @@ pub struct DstOptions {
     /// stops with a structured `budget_exhausted` stall instead of spinning
     /// — the run-service shards use this to reap runaway jobs.
     pub max_events: u64,
+    /// Wall-clock deadline for multi-phase runs (`None` = unlimited, the
+    /// default). Checked at every phase *boundary*: once the deadline has
+    /// passed, the next phase runs with a zero event budget, producing the
+    /// same structured `budget_exhausted` stall as `max_events` — real
+    /// snapshots, honest partial reports — so a run-service shard can reap
+    /// and bill a job that outlived its tenant's wall budget mid-run.
+    /// Simulated time stays deterministic; only *whether the run was cut
+    /// short* depends on the host clock, which is the point.
+    pub wall_deadline: Option<std::time::Instant>,
 }
 
 impl Default for DstOptions {
@@ -112,7 +121,24 @@ impl Default for DstOptions {
             threads: sim_net::env_threads(),
             queue: sim_net::env_queue(),
             max_events: u64::MAX,
+            wall_deadline: None,
         }
+    }
+}
+
+/// The per-phase event budget under `opts`: the configured `max_events`,
+/// or zero once a multi-phase run's wall deadline has passed (never
+/// applied to phase 0 — admission control owns the "don't even start"
+/// decision; this owns "stop at the next boundary").
+fn phase_event_budget(opts: &DstOptions, phase: usize) -> u64 {
+    if phase > 0
+        && opts
+            .wall_deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+    {
+        0
+    } else {
+        opts.max_events
     }
 }
 
@@ -250,6 +276,10 @@ pub fn run_phase_migrating<A: PtrApp>(
         "migration drives the DPA variant only, got {:?}",
         cfg.variant
     );
+    assert!(
+        !cfg.replication,
+        "replication rides the differential driver (run_phase_differential)"
+    );
     let migrate = cfg.migration_enabled();
     let adaptive = cfg.adaptive_strip();
     let mut tables: Option<Vec<MigrationTable>> = None;
@@ -293,7 +323,7 @@ pub fn run_phase_migrating<A: PtrApp>(
             // Vary the perturbation per phase, deterministically.
             m.perturb_schedule(seed.wrapping_add(phase as u64));
         }
-        m.max_events = opts.max_events;
+        m.max_events = phase_event_budget(opts, phase);
         reports.push(m.run_threads(opts.threads));
         let mut snaps = Vec::with_capacity(nodes as usize);
         for i in 0..nodes {
@@ -378,6 +408,19 @@ type MdTables<A> = (PointerMap<Tagged<<A as PtrApp>::Work>>, PendingRequests);
 ///   whose home is the consumer itself — are pruned from the carry, so a
 ///   re-homed object is always refetched from its new home. Adaptive
 ///   strip controllers carry exactly as in the migrating driver.
+/// * **Read-mostly replication** (`cfg.replication`). The boundary also
+///   runs the promotion policy over each owner's accumulated affinity:
+///   a pointer read by at least `replication_min_fanout` consumers, at
+///   least `replication_threshold` times in total, with *no* dominant
+///   consumer (top ≤ half the total — the shape where migration's
+///   re-homing merely moves the hot spot) is promoted into the owner's
+///   [`ReplicaDirectory`], capped at `replication_budget` pointers
+///   replicated per owner at a time. Replicated pointers are pinned against
+///   migration (promotion runs *before* the re-homing pass); write-heavy
+///   windows demote on the way out of each phase, un-pinning the pointer
+///   again. Directories hand across the barrier like every other table,
+///   their generations refreshed against the next phase's objects so
+///   only moved generations re-broadcast.
 ///
 /// Correctness bar: interaction checksums are bit-identical to a
 /// from-scratch [`run_phase_migrating`] run of the same workload — stale
@@ -408,8 +451,12 @@ pub fn run_phase_differential<A: PtrApp>(
     );
     let migrate = cfg.migration_enabled();
     let adaptive = cfg.adaptive_strip();
+    let replicate = cfg.replication;
     let mut tables: Option<Vec<MigrationTable>> = None;
     let mut strip_ctls: Option<Vec<StripController>> = None;
+    // Per-owner replica directories, carried across the barrier like the
+    // migration tables (empty directories in phase 0).
+    let mut repl_dirs: Option<Vec<ReplicaDirectory>> = None;
     // Cross-barrier carry: per-node arrival entries `(ptr, size, gen)`,
     // the M/D tables, and the pointers whose home moved at the last
     // boundary (pruned from the carry so they refetch from the new home).
@@ -437,6 +484,21 @@ pub fn run_phase_differential<A: PtrApp>(
         if let Some(mds) = md_tables.take() {
             for (p, (map, pend)) in procs.iter_mut().zip(mds) {
                 p.set_tables(map, pend);
+            }
+        }
+        if replicate {
+            let dirs = repl_dirs
+                .take()
+                .unwrap_or_else(|| (0..nodes).map(|_| ReplicaDirectory::new()).collect());
+            for (i, mut dir) in dirs.into_iter().enumerate() {
+                // Refresh every entry to this phase's generation before the
+                // machine starts: a moved generation flags a re-broadcast,
+                // an unchanged one stays silent (the consumers carry it and
+                // the differential all-clear validates it).
+                for ptr in dir.ptrs() {
+                    dir.set_gen(ptr, procs[i].app().object_generation(ptr));
+                }
+                procs[i].set_replication(dir);
             }
         }
         if let Some(carries) = carries.take() {
@@ -501,7 +563,7 @@ pub fn run_phase_differential<A: PtrApp>(
         if let Some(seed) = opts.schedule_seed {
             m.perturb_schedule(seed.wrapping_add(phase as u64));
         }
-        m.max_events = opts.max_events;
+        m.max_events = phase_event_budget(opts, phase);
         reports.push(m.run_threads(opts.threads));
         let mut snaps = Vec::with_capacity(nodes as usize);
         for i in 0..nodes {
@@ -538,6 +600,59 @@ pub fn run_phase_differential<A: PtrApp>(
                     m.proc(NodeId(ptr.node())).app().object_size(ptr)
                 });
                 moved.extend(healed);
+                if replicate {
+                    // Promotion policy, strictly before the re-homing
+                    // pass: a freshly promoted pointer must be pinned so
+                    // this boundary's migration picks cannot re-home it
+                    // out from under its consumer set. Deterministic:
+                    // owners in node order, candidates sorted by (reads
+                    // desc, fan-out desc, pointer bits).
+                    let mut dirs: Vec<ReplicaDirectory> = (0..nodes)
+                        .map(|i| {
+                            m.proc_mut(NodeId(i))
+                                .take_replication()
+                                .expect("replication enabled")
+                        })
+                        .collect();
+                    for owner in 0..nodes as usize {
+                        let mut eligible: Vec<(GPtr, u64, usize, Vec<u16>)> = Vec::new();
+                        for (ptr, row) in taken[owner].affinity_summary() {
+                            if dirs[owner].is_replicated(ptr) {
+                                continue;
+                            }
+                            let fanout = row.len();
+                            let total: u64 = row.iter().map(|&(_, n)| n).sum();
+                            let top: u64 = row.iter().map(|&(_, n)| n).max().unwrap_or(0);
+                            // Wide fan-out, enough reads, and no dominant
+                            // consumer — the shape migration loses on
+                            // (re-homing would just move the hot spot).
+                            if fanout >= cfg.replication_min_fanout
+                                && total >= cfg.replication_threshold
+                                && top * 2 <= total
+                            {
+                                let consumers: Vec<u16> =
+                                    row.iter().map(|&(c, _)| c).collect();
+                                eligible.push((ptr, total, fanout, consumers));
+                            }
+                        }
+                        eligible.sort_unstable_by(|a, b| {
+                            b.1.cmp(&a.1)
+                                .then(b.2.cmp(&a.2))
+                                .then(a.0.bits().cmp(&b.0.bits()))
+                        });
+                        let room = cfg
+                            .replication_budget
+                            .saturating_sub(dirs[owner].len());
+                        eligible.truncate(room);
+                        for (ptr, _, _, consumers) in eligible {
+                            let gen =
+                                m.proc(NodeId(owner as u16)).app().object_generation(ptr);
+                            dirs[owner].promote(ptr, gen, consumers);
+                        }
+                        taken[owner].set_pins(&dirs[owner].ptrs());
+                    }
+                    repl_dirs = Some(dirs);
+                }
                 for owner in 0..nodes as usize {
                     let picks = taken[owner]
                         .pick_migrations(cfg.migration_threshold, cfg.migration_budget);

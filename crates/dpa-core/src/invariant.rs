@@ -28,6 +28,13 @@
 //! node never both adopts and departs the same object), migration
 //! shipments conserve like every other coalesced path, and affinity
 //! reports all land (lossless runs).
+//!
+//! Read-mostly replication adds two more: **broadcast conservation**
+//! (replica entries installed after dedup never exceed entries sent, and
+//! match exactly on lossless completed runs) and **coherence** (every
+//! replica a consumer installed matches, pointer and generation, an entry
+//! its owner's directory actually broadcast — a consumer can never hold a
+//! generation its owner never published).
 
 use global_heap::GPtr;
 use std::collections::{HashMap, HashSet};
@@ -119,6 +126,17 @@ pub struct NodeSnapshot {
     /// with the object's current generation — the delta-conservation
     /// oracle ("no stale cache entry survives a home or value change").
     pub stale_cache_entries: usize,
+    /// Replication: replica entries this owner put on the wire in
+    /// `Replicate` broadcasts.
+    pub repl_entries_sent: u64,
+    /// Replication: replica entries received (after sequence dedup).
+    pub repl_entries_recv: u64,
+    /// Replication: this owner's replica directory as sorted
+    /// `(pointer bits, generation)` pairs.
+    pub replica_dir: Vec<(u64, u32)>,
+    /// Replication: replicas installed from broadcasts this phase, as
+    /// sorted `(pointer bits, generation)` pairs.
+    pub replica_held: Vec<(u64, u32)>,
     /// Every strip the adaptive k-bound controller applied on this node,
     /// initial strip first (empty under a fixed strip).
     pub strip_schedule: Vec<u32>,
@@ -317,6 +335,28 @@ pub enum Violation {
         /// Delta entries received across all nodes.
         recv: u64,
     },
+    /// Machine-wide replica-broadcast conservation failed: on any run,
+    /// entries installed (after dedup) exceeding entries sent means an
+    /// install was invented or dedup let a duplicate through; on a
+    /// lossless completed run the two must match exactly.
+    ReplicaLeak {
+        /// Replica entries sent across all nodes.
+        sent: u64,
+        /// Replica entries received (after dedup) across all nodes.
+        recv: u64,
+    },
+    /// A consumer holds a replica whose `(pointer, generation)` matches no
+    /// directory snapshot of its owner: the copy was installed at a
+    /// generation the owner never published — a coherence breach no
+    /// schedule or fault plan can excuse.
+    ReplicaIncoherent {
+        /// The consumer holding the bad replica.
+        node: u16,
+        /// The replicated object (pointer bits).
+        ptr: u64,
+        /// The generation the consumer holds.
+        gen: u32,
+    },
     /// The adaptive strip controller applied a strip outside its
     /// configured `[min, max]` bounds — the controller's hard promise,
     /// independent of schedule or fault plan.
@@ -462,6 +502,15 @@ impl fmt::Display for Violation {
                 f,
                 "phase deltas leaked: sent {sent} entries != received {recv} (lossless run)"
             ),
+            Violation::ReplicaLeak { sent, recv } => write!(
+                f,
+                "replica broadcasts leaked: sent {sent} entries != installed {recv}"
+            ),
+            Violation::ReplicaIncoherent { node, ptr, gen } => write!(
+                f,
+                "n{node}: holds replica of {} at generation {gen}, which its owner never published",
+                GPtr::from_bits(*ptr)
+            ),
             Violation::StripOutOfBounds {
                 node,
                 strip,
@@ -521,6 +570,41 @@ pub fn check_conservation(snaps: &[NodeSnapshot]) -> Vec<Violation> {
     let applied: u64 = snaps.iter().map(|s| s.updates_applied).sum();
     if applied > emitted {
         out.push(Violation::UpdateOverApplied { emitted, applied });
+    }
+    // Broadcast at-most-once: installs (post-dedup) can trail sends on a
+    // lossy or stalled run, but can never exceed them.
+    let rsent: u64 = snaps.iter().map(|s| s.repl_entries_sent).sum();
+    let rrecv: u64 = snaps.iter().map(|s| s.repl_entries_recv).sum();
+    if rrecv > rsent {
+        out.push(Violation::ReplicaLeak {
+            sent: rsent,
+            recv: rrecv,
+        });
+    }
+    // Coherence holds on any run, completed or stalled, lossy or not: a
+    // held replica exists only because a broadcast delivered it, and a
+    // broadcast carries exactly what the owner's directory published
+    // (drop and dup cannot manufacture a generation). Multi-phase checks
+    // feed every phase's snapshots, so a held copy must match *some*
+    // directory snapshot of its owner.
+    let mut published: HashSet<(u64, u32)> = HashSet::new();
+    for s in snaps {
+        for &(ptr, gen) in &s.replica_dir {
+            if GPtr::from_bits(ptr).node() == s.node {
+                published.insert((ptr, gen));
+            }
+        }
+    }
+    for s in snaps {
+        for &(ptr, gen) in &s.replica_held {
+            if !published.contains(&(ptr, gen)) {
+                out.push(Violation::ReplicaIncoherent {
+                    node: s.node,
+                    ptr,
+                    gen,
+                });
+            }
+        }
     }
     out.extend(check_migration_conservation(snaps));
     out
@@ -668,6 +752,17 @@ pub fn check_completed(snaps: &[NodeSnapshot], lossy: bool) -> Vec<Violation> {
             out.push(Violation::DeltaLeak {
                 sent: dsent,
                 recv: drecv,
+            });
+        }
+        // Every broadcast landed: on a lossless completed run replica
+        // installs must match sends exactly (the at-most-once direction
+        // is checked unconditionally in `check_conservation`).
+        let rsent: u64 = snaps.iter().map(|s| s.repl_entries_sent).sum();
+        let rrecv: u64 = snaps.iter().map(|s| s.repl_entries_recv).sum();
+        if rsent != rrecv {
+            out.push(Violation::ReplicaLeak {
+                sent: rsent,
+                recv: rrecv,
             });
         }
         let adopted_anywhere: HashSet<u64> = snaps
@@ -995,6 +1090,67 @@ mod tests {
         assert!(check_completed(&snaps, false)
             .iter()
             .any(|v| matches!(v, Violation::DeltaLeak { sent: 6, recv: 4 })));
+    }
+
+    #[test]
+    fn replica_over_install_is_always_a_violation() {
+        let mut a = clean(0);
+        a.repl_entries_sent = 3;
+        let mut b = clean(1);
+        b.repl_entries_recv = 4; // one more install than ever sent
+        let v = check_conservation(&[a, b]);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::ReplicaLeak { sent: 3, recv: 4 })));
+        assert!(v[0].to_string().contains("replica broadcasts leaked"));
+    }
+
+    #[test]
+    fn replica_conservation_exact_on_lossless_completions() {
+        let mut a = clean(0);
+        a.repl_entries_sent = 5;
+        let mut b = clean(1);
+        b.repl_entries_recv = 3; // two broadcasts dropped
+        let snaps = vec![a, b];
+        assert!(
+            check_conservation(&snaps).is_empty(),
+            "a lossy/stalled run may trail sends"
+        );
+        assert!(check_completed(&snaps, true).is_empty());
+        assert!(check_completed(&snaps, false)
+            .iter()
+            .any(|v| matches!(v, Violation::ReplicaLeak { sent: 5, recv: 3 })));
+    }
+
+    #[test]
+    fn replica_coherence_matches_owner_directory() {
+        // Owner n0 publishes ptr 42 at gens 1 (phase A) and 2 (phase B);
+        // consumers holding either generation are coherent.
+        let ptr = GPtr::new(0, global_heap::ObjClass(0), 42).bits();
+        let mut o1 = clean(0);
+        o1.replica_dir = vec![(ptr, 1)];
+        let mut o2 = clean(0);
+        o2.replica_dir = vec![(ptr, 2)];
+        let mut c = clean(1);
+        c.replica_held = vec![(ptr, 2)];
+        assert!(check_completed(&[o1.clone(), o2.clone(), c], false).is_empty());
+        // A generation the owner never published is incoherent — even on
+        // a lossy run (faults cannot manufacture a generation).
+        let mut bad = clean(1);
+        bad.replica_held = vec![(ptr, 7)];
+        let v = check_completed(&[o1, o2, bad], true);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::ReplicaIncoherent { node: 1, gen: 7, .. })));
+        assert!(v[0].to_string().contains("never published"));
+        // A directory claimed by a non-owner does not vouch for anyone.
+        let mut imposter = clean(3);
+        imposter.replica_dir = vec![(ptr, 9)];
+        let mut held = clean(1);
+        held.replica_held = vec![(ptr, 9)];
+        assert!(check_conservation(&[imposter, held])
+            .iter()
+            .any(|v| matches!(v, Violation::ReplicaIncoherent { .. })));
     }
 
     #[test]

@@ -84,6 +84,23 @@ pub enum DpaMsg {
         /// The carried objects whose generation moved.
         entries: Vec<GPtr>,
     },
+    /// Read-mostly replication: the owner pushes generation-stamped copies
+    /// of promoted pointers to every node in the consumer set, so
+    /// subsequent remote reads hit the local replica with zero messages.
+    /// Entries are `(pointer, payload bytes)` — data travels implicitly,
+    /// reply-style — and every entry in one message shares the `gen`
+    /// stamp. Installation must be idempotent under duplication, so
+    /// receivers dedup on `(sender, seq)`; a *lost* broadcast is safe by
+    /// construction (the consumer simply fetches on demand, or stalls on
+    /// the differential gate — never reads stale data silently).
+    Replicate {
+        /// Per-sender monotone sequence number (dedup key).
+        seq: u64,
+        /// Generation stamped on every entry (header, no payload cost).
+        gen: u32,
+        /// The `(pointer, payload bytes)` copies being pushed.
+        entries: Vec<(GPtr, u32)>,
+    },
 }
 
 impl DpaMsg {
@@ -97,6 +114,7 @@ impl DpaMsg {
             DpaMsg::Migrate { entries, .. } => entries.len(),
             DpaMsg::Forward { entries, .. } => entries.len(),
             DpaMsg::PhaseDelta { entries, .. } => entries.len(),
+            DpaMsg::Replicate { entries, .. } => entries.len(),
         }
     }
 }
@@ -121,6 +139,11 @@ impl MsgSize for DpaMsg {
             // Bare pointers; seq in the header. The all-clear (no entries)
             // is a pure header packet.
             DpaMsg::PhaseDelta { entries, .. } => (entries.len() as u32) * GPtr::WIRE_BYTES,
+            // A broadcast ships object payloads like a reply; the shared
+            // generation stamp rides in the header.
+            DpaMsg::Replicate { entries, .. } => {
+                entries.iter().map(|&(_, size)| size + GPtr::WIRE_BYTES).sum()
+            }
         }
     }
 }
@@ -212,6 +235,28 @@ mod tests {
             entries: vec![],
         };
         assert_eq!(all_clear.size_bytes(), 0, "the all-clear is header-only");
+    }
+
+    #[test]
+    fn replicate_sizes_like_a_reply_with_header_stamp() {
+        let m = DpaMsg::Replicate {
+            seq: 2,
+            gen: 5,
+            entries: vec![(p(1), 96), (p(2), 48)],
+        };
+        assert_eq!(
+            m.size_bytes(),
+            96 + 48 + 16,
+            "broadcast ships object payloads like a reply"
+        );
+        assert_eq!(m.entries(), 2);
+        // Same entries, different seq/gen: wire cost must not change.
+        let n = DpaMsg::Replicate {
+            seq: u64::MAX,
+            gen: u32::MAX,
+            entries: vec![(p(1), 96), (p(2), 48)],
+        };
+        assert_eq!(m.size_bytes(), n.size_bytes());
     }
 
     #[test]

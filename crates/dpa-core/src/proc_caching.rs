@@ -366,8 +366,9 @@ impl<A: PtrApp> Proc for CachingProc<A> {
             DpaMsg::Affinity { .. }
             | DpaMsg::Migrate { .. }
             | DpaMsg::Forward { .. }
-            | DpaMsg::PhaseDelta { .. } => {
-                unreachable!("baselines never enable migration or differential mode")
+            | DpaMsg::PhaseDelta { .. }
+            | DpaMsg::Replicate { .. } => {
+                unreachable!("baselines never enable migration, differential, or replication")
             }
         }
     }

@@ -60,6 +60,22 @@
 //! `Migrate` parks in an orphan queue until adoption. All of it is off by
 //! default and every fan-out iterates in sorted order, so baseline runs
 //! and replays stay bit-identical.
+//!
+//! # Read-mostly replication (multi-home broadcast caching)
+//!
+//! With `replication` enabled the driver additionally runs the third
+//! alignment mode (see `global_heap::replicate`): pointers whose affinity
+//! shows high fan-out with *no* dominant consumer — exactly the shape
+//! migration loses on — are promoted to *replicated* at phase boundaries.
+//! The owner broadcasts a generation-stamped copy to every consumer at
+//! `on_start` (after the boundary deltas, before its own delta gate), and
+//! subsequent remote reads hit the local replica with zero messages.
+//! Writes never move: they funnel through the birth home, are counted per
+//! window, and demote the pointer when the mix stops being read-mostly.
+//! A replicated pointer is pinned against migration while replicated;
+//! carried replicas ride the differential `(ptr, size, gen)` machinery, so
+//! a lost broadcast degrades to a demand fetch or a diagnosable delta
+//! stall — never a silent stale read.
 
 use crate::config::{ConfigError, DpaConfig, Variant};
 use crate::invariant::NodeSnapshot;
@@ -69,7 +85,7 @@ use crate::msg::DpaMsg;
 use crate::pending::PendingRequests;
 use crate::work::{Avail, Emit, PtrApp, Tagged, WorkEnv};
 use fastmsg::{ByteCoalescer, Coalescer};
-use global_heap::{ArrivalSet, GPtr, MigrationTable};
+use global_heap::{ArrivalSet, GPtr, MigrationTable, ReplicaDirectory};
 use sim_net::{Ctx, Dur, NodeId, NodeStats, Proc};
 use crate::fxmap::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
@@ -128,6 +144,28 @@ pub struct DpaProc<A: PtrApp> {
     /// `(sender, seq)` dedup for Affinity / Migrate messages.
     seen_affinity: FxHashSet<(u16, u64)>,
     seen_migrates: FxHashSet<(u16, u64)>,
+    /// Owner-side replica directory (`Some` iff `cfg.replication` and the
+    /// driver installed one): which of this node's pointers are
+    /// multi-homed, to whom, at which generation, and how write-heavy the
+    /// current window is. Promotion/demotion policy runs in the driver at
+    /// phase boundaries; this proc broadcasts, counts writes, and serves
+    /// the directory back via [`DpaProc::take_replication`].
+    repl: Option<ReplicaDirectory>,
+    /// Replicas installed from a `Replicate` broadcast *this phase*:
+    /// pointer → stamped generation. Guards the `PhaseDelta` invalidation
+    /// path (a broadcast carries the post-boundary generation, so an
+    /// invalidation it raced with is already satisfied) and feeds the
+    /// `ReplicaIncoherent` oracle through the snapshot.
+    replicas_held: FxHashMap<GPtr, u32>,
+    /// `(sender, seq)` dedup for Replicate messages.
+    seen_replicates: FxHashSet<(u16, u64)>,
+    /// Replicate messages sent; doubles as the per-sender seq counter.
+    replicate_msgs: u64,
+    /// Replica entries put on the wire (conservation partner of
+    /// `repl_entries_recv`).
+    repl_entries_sent: u64,
+    /// Replica entries received after seq-dedup.
+    repl_entries_recv: u64,
     /// Differential re-alignment: the homes this node carried entries of
     /// across the phase barrier and still awaits a `PhaseDelta` from. The
     /// first strip is gated on hearing from every one, so a stale carried
@@ -287,6 +325,12 @@ impl<A: PtrApp> DpaProc<A> {
             mig_out_at_start: 0,
             seen_affinity: FxHashSet::default(),
             seen_migrates: FxHashSet::default(),
+            repl: None,
+            replicas_held: FxHashMap::default(),
+            seen_replicates: FxHashSet::default(),
+            replicate_msgs: 0,
+            repl_entries_sent: 0,
+            repl_entries_recv: 0,
             awaiting_deltas: FxHashSet::default(),
             delta_out: Vec::new(),
             seen_deltas: FxHashSet::default(),
@@ -433,6 +477,46 @@ impl<A: PtrApp> DpaProc<A> {
         self.mig.take()
     }
 
+    /// Install this node's owner-side replica directory (driver use,
+    /// before the machine starts). Entries flagged `needs_broadcast` go
+    /// out first thing in `on_start`; the rest are carried by their
+    /// consumers and validated by the differential all-clear.
+    pub fn set_replication(&mut self, dir: ReplicaDirectory) {
+        assert!(
+            self.cfg.replication,
+            "set_replication on a config with replication disabled"
+        );
+        self.repl = Some(dir);
+    }
+
+    /// The node's replica directory, when replication is enabled.
+    pub fn replication(&self) -> Option<&ReplicaDirectory> {
+        self.repl.as_ref()
+    }
+
+    /// Take the replica directory for cross-phase hand-off (driver use,
+    /// after the machine stops), applying the read-mostly contract on the
+    /// way out: entries whose window exceeded
+    /// `replication_write_demote` writes are demoted and every window is
+    /// zeroed for the next phase.
+    pub fn take_replication(&mut self) -> Option<ReplicaDirectory> {
+        let mut dir = self.repl.take()?;
+        dir.end_window(self.cfg.replication_write_demote);
+        Some(dir)
+    }
+
+    /// Replicas installed from broadcasts this phase, as sorted
+    /// `(ptr bits, generation)` pairs (snapshot/oracle export).
+    pub fn replicas_held(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self
+            .replicas_held
+            .iter()
+            .map(|(p, &g)| (p.bits(), g))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Completed top-level iterations.
     pub fn completed_iterations(&self) -> u64 {
         self.completed_iters
@@ -551,6 +635,10 @@ impl<A: PtrApp> DpaProc<A> {
                 .entries()
                 .filter(|&(p, _, gen)| gen != self.app.object_generation(p))
                 .count(),
+            repl_entries_sent: self.repl_entries_sent,
+            repl_entries_recv: self.repl_entries_recv,
+            replica_dir: self.repl.as_ref().map(|d| d.export()).unwrap_or_default(),
+            replica_held: self.replicas_held(),
             strip_schedule: self
                 .strip_ctl
                 .as_ref()
@@ -590,6 +678,12 @@ impl<A: PtrApp> DpaProc<A> {
                     ctx.charge_overhead(self.cfg.cost.owner_lookup_ns);
                     self.updates_applied += 1;
                     self.app.apply_update(ptr, value);
+                    // Single-writer: every write funnels through the birth
+                    // home, where the replica directory counts it toward
+                    // the read-mostly demotion window.
+                    if let Some(d) = self.repl.as_mut() {
+                        d.note_write(ptr);
+                    }
                 } else {
                     ctx.charge_overhead(self.cfg.cost.request_entry_ns);
                     let now = ctx.now().as_ns();
@@ -746,14 +840,22 @@ impl<A: PtrApp> DpaProc<A> {
     /// object's believed home (sorted fan-out for determinism). Entries
     /// whose home turns out to be this node (an override learned or an
     /// adoption that landed mid-epoch) are dropped — local dereferences
-    /// are not migration signal.
+    /// are not migration signal. Entries below the per-consumer
+    /// [`affinity_report_floor`](DpaConfig::affinity_report_floor) are
+    /// dropped too: one or two touches in a window is background noise
+    /// the owner cannot act on, and not shipping it keeps the report
+    /// proportional to the *hot* working set instead of the whole one.
     fn send_affinity(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
         if self.aff_pending.is_empty() {
             return;
         }
         let me = ctx.me().0;
+        let floor = self.cfg.affinity_report_floor;
         let mut per_dst: FxHashMap<u16, Vec<(GPtr, u32)>> = FxHashMap::default();
         for (ptr, n) in self.aff_pending.drain() {
+            if n < floor {
+                continue;
+            }
             let home = match &self.mig {
                 Some(m) => m.home_of(ptr, me),
                 None => ptr.node(),
@@ -807,6 +909,44 @@ impl<A: PtrApp> DpaProc<A> {
             }
         }
         self.ensure_flush_wake(ctx);
+    }
+
+    /// Push the replica payloads flagged for (re-)broadcast to their
+    /// consumer sets: one `Replicate` per (consumer, generation) group,
+    /// sized and charged like a reply, fanned out in sorted order. Fresh
+    /// promotions and moved generations are flagged; an unchanged replica
+    /// is carried by its consumer and validated by the differential
+    /// all-clear instead, so it costs nothing here.
+    fn send_replicate_broadcasts(&mut self, ctx: &mut Ctx<'_, DpaMsg>) {
+        let broadcasts = match self.repl.as_mut() {
+            Some(d) => d.take_broadcasts(),
+            None => return,
+        };
+        if broadcasts.is_empty() {
+            return;
+        }
+        let me = ctx.me().0;
+        let mut per: FxHashMap<(u16, u32), Vec<(GPtr, u32)>> = FxHashMap::default();
+        for (ptr, gen, consumers) in broadcasts {
+            debug_assert!(ptr.is_local_to(me), "broadcasting a pointer homed elsewhere");
+            let size = self.app.object_size(ptr);
+            for c in consumers {
+                debug_assert!(c != me, "owner in its own consumer set");
+                per.entry((c, gen)).or_default().push((ptr, size));
+            }
+        }
+        let mut keys: Vec<(u16, u32)> = per.keys().copied().collect();
+        keys.sort_unstable();
+        for (dst, gen) in keys {
+            let entries = per.remove(&(dst, gen)).expect("key from this map");
+            ctx.charge_overhead(self.cfg.cost.owner_lookup_ns * entries.len() as u64);
+            let payload = crate::owner::reply_payload_bytes(&entries);
+            crate::owner::charge_extra_packets(&self.cfg, ctx, payload);
+            let seq = self.replicate_msgs;
+            self.replicate_msgs += 1;
+            self.repl_entries_sent += entries.len() as u64;
+            ctx.send(NodeId(dst), DpaMsg::Replicate { seq, gen, entries });
+        }
     }
 
     fn send_migrate(&mut self, ctx: &mut Ctx<'_, DpaMsg>, dst: u16, batch: Vec<(GPtr, u32)>) {
@@ -932,6 +1072,15 @@ impl<A: PtrApp> DpaProc<A> {
             return;
         }
         let epoch = self.cfg.migration_epoch_ns;
+        // `u64::MAX` is boundary-only mode: affinity still accumulates at
+        // align time and ships in the final phase-end report (which is
+        // all the boundary promotion/migration decisions need), but no
+        // periodic epoch ever fires — arming one would also strand an
+        // uncancellable far-future wake in the queue, stretching the
+        // phase makespan to the epoch length.
+        if epoch == u64::MAX {
+            return;
+        }
         self.next_epoch_at = Some(ctx.now().as_ns() + epoch);
         ctx.wake_after(Dur::from_ns(epoch));
     }
@@ -1152,11 +1301,22 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                 self.strip_ctl = Some(ctl);
             }
         }
-        if self.cfg.migration_enabled() {
+        if self.cfg.migration_enabled() && self.cfg.migration_epoch_ns != u64::MAX {
             let epoch = self.cfg.migration_epoch_ns;
             self.next_epoch_at = Some(ctx.now().as_ns() + epoch);
             ctx.wake_after(Dur::from_ns(epoch));
         }
+        // Replica broadcasts go out FIRST, before the boundary deltas.
+        // Per-link delivery is FIFO, so a consumer installs the fresh
+        // generation (and records it in `replicas_held`) before this
+        // owner's PhaseDelta arrives to invalidate the stale one — the
+        // delta handler then sees the replica is already current and
+        // leaves it alone, instead of invalidating and forcing a demand
+        // refetch that races the broadcast. Broadcasts gate nothing, so
+        // sending them first cannot deadlock; like the deltas, they go
+        // out even if this node is itself delta-gated — an owner must
+        // serve its consumers regardless of what it is waiting on.
+        self.send_replicate_broadcasts(ctx);
         // Differential boundary deltas go out before this node gates on
         // its own awaited ones, so mutually-carrying nodes cannot
         // deadlock. The all-clear (empty list) is a header-only packet.
@@ -1232,6 +1392,11 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                     ctx.charge_overhead(self.cfg.cost.owner_lookup_ns);
                     self.updates_applied += 1;
                     self.app.apply_update(ptr, value);
+                    // Remote writes funnel here too: count them toward the
+                    // replica's read-mostly demotion window.
+                    if let Some(d) = self.repl.as_mut() {
+                        d.note_write(ptr);
+                    }
                 }
                 self.upd_coal.recycle(entries);
             }
@@ -1339,6 +1504,13 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                 self.delta_entries_recv += entries.len() as u64;
                 for ptr in entries.drain(..) {
                     ctx.charge_overhead(self.cfg.cost.map_update_ns);
+                    if self.replicas_held.contains_key(&ptr) {
+                        // A Replicate broadcast already superseded this
+                        // copy with the post-boundary generation (the
+                        // broadcast may outrun the delta under reordering);
+                        // the invalidation is satisfied, not violated.
+                        continue;
+                    }
                     if self.arrived.invalidate(ptr) {
                         self.stale_invalidated += 1;
                     }
@@ -1352,6 +1524,42 @@ impl<A: PtrApp> Proc for DpaProc<A> {
                     self.admit(ctx);
                     self.drive(ctx);
                 }
+            }
+            DpaMsg::Replicate { seq, gen, mut entries } => {
+                // Exactly-once install under at-least-once delivery.
+                if !self.seen_replicates.insert((src.0, seq)) {
+                    return;
+                }
+                self.repl_entries_recv += entries.len() as u64;
+                for (ptr, size) in entries.drain(..) {
+                    ctx.charge_overhead(self.cfg.cost.reply_install_ns + self.pressure());
+                    debug_assert_eq!(
+                        ptr.node(),
+                        src.0,
+                        "replica broadcast from a non-owner for {ptr}"
+                    );
+                    self.replicas_held.insert(ptr, gen);
+                    if self.pending.contains(ptr) {
+                        // The broadcast raced our own demand request;
+                        // it doubles as the reply.
+                        let fresh = self.arrived.insert_gen(ptr, size, gen);
+                        debug_assert!(fresh, "pending object was already installed");
+                        let was_pending = self.pending.complete(ptr);
+                        debug_assert!(was_pending);
+                        self.installs += 1;
+                        self.map.release_into(ptr, &mut self.stack);
+                    } else {
+                        // Supersede any carried copy outright: the
+                        // broadcast may outrun the owner's PhaseDelta, and
+                        // a stale carry must never survive behind the
+                        // fresh-replica guard.
+                        self.arrived.invalidate(ptr);
+                        self.arrived.preload_gen(ptr, size, gen);
+                    }
+                }
+                self.reply_coal.recycle(entries);
+                self.peak_stack = self.peak_stack.max(self.stack.len() as u64);
+                self.drive(ctx);
             }
         }
     }
@@ -1418,6 +1626,14 @@ impl<A: PtrApp> Proc for DpaProc<A> {
             homes.sort_unstable();
             detail.push_str(&format!("; gated awaiting deltas from {homes:?}"));
         }
+        if let Some(d) = &self.repl {
+            detail.push_str(&format!(
+                "; repl: {} dir entries, {} held, {} bcast msgs",
+                d.len(),
+                self.replicas_held.len(),
+                self.replicate_msgs
+            ));
+        }
         Some(detail)
     }
 
@@ -1480,6 +1696,19 @@ impl<A: PtrApp> Proc for DpaProc<A> {
             stats.bump("delta_entries", self.delta_entries_sent);
             stats.bump("carried_entries", self.carried_in);
             stats.bump("stale_invalidated", self.stale_invalidated);
+        }
+        // Replication columns only exist in replication runs, so every
+        // other stat table stays byte-identical.
+        if self.cfg.replication {
+            stats.bump("replicate_msgs", self.replicate_msgs);
+            stats.bump("replicate_entries", self.repl_entries_sent);
+            stats.bump("replica_installs", self.repl_entries_recv);
+            stats.bump("replicas_held", self.replicas_held.len() as u64);
+            if let Some(d) = &self.repl {
+                stats.bump("replicated_ptrs", d.len() as u64);
+                stats.bump("replica_promotions", d.promotions());
+                stats.bump("replica_demotions", d.demotions());
+            }
         }
         // Migration columns only exist in migration runs, so the baseline
         // stat tables stay byte-identical.

@@ -218,7 +218,7 @@ mod tests {
     fn live_pool_runs_jobs_and_drains() {
         struct Sleepy;
         impl JobRunner for Sleepy {
-            fn run(&self, spec: &JobSpec, _budget: u64) -> JobReport {
+            fn run(&self, spec: &JobSpec, _budget: u64, _wall: Option<u64>) -> JobReport {
                 std::thread::sleep(std::time::Duration::from_micros(200));
                 JobReport {
                     completed: true,

@@ -21,15 +21,24 @@ pub trait JobRunner: Send + Sync {
     /// Run `spec` to completion (or budget exhaustion) and report.
     /// `event_budget` is the resolved per-job cap the run must honor —
     /// a runaway job has to stop with `budget_exhausted`, not spin.
-    fn run(&self, spec: &JobSpec, event_budget: u64) -> JobReport;
+    /// `wall_budget_ns` is the tenant's remaining wall-clock budget at
+    /// placement time (`None` when unconfigured): a run that outlives it
+    /// must stop at the next phase boundary with `budget_exhausted` so
+    /// the shard is reclaimed and the overrun billed, never silently
+    /// absorbed.
+    fn run(&self, spec: &JobSpec, event_budget: u64, wall_budget_ns: Option<u64>) -> JobReport;
 }
+
+/// One unit of work handed to a shard worker:
+/// `(job, spec, event_budget, wall_budget_ns)`.
+type WorkItem = (JobId, JobSpec, u64, Option<u64>);
 
 struct State {
     sched: Scheduler,
     /// Specs of queued + running jobs.
     specs: BTreeMap<u64, JobSpec>,
     /// Work handed to each shard's worker, not yet picked up.
-    work: Vec<Option<(JobId, JobSpec, u64)>>,
+    work: Vec<Option<WorkItem>>,
     /// Log length already scanned for placements.
     cursor: usize,
     /// Reports of finished jobs.
@@ -65,8 +74,9 @@ impl Inner {
         for (job, shard) in assign {
             let spec = st.specs[&job.0].clone();
             let budget = st.sched.resolve_event_budget(&spec);
+            let wall = st.sched.resolve_wall_budget(&spec);
             debug_assert!(st.work[shard].is_none(), "shard {shard} double-assigned");
-            st.work[shard] = Some((job, spec, budget));
+            st.work[shard] = Some((job, spec, budget, wall));
         }
     }
 }
@@ -190,7 +200,7 @@ impl Service {
 
 fn worker(inner: Arc<Inner>, shard: usize) {
     loop {
-        let (job, spec, budget) = {
+        let (job, spec, budget, wall) = {
             let mut st = inner.state.lock().expect("service lock");
             loop {
                 if let Some(w) = st.work[shard].take() {
@@ -203,7 +213,7 @@ fn worker(inner: Arc<Inner>, shard: usize) {
             }
         };
         let t0 = Instant::now();
-        let mut report = inner.runner.run(&spec, budget);
+        let mut report = inner.runner.run(&spec, budget, wall);
         report.wall_ns = t0.elapsed().as_nanos() as u64;
         let mut st = inner.state.lock().expect("service lock");
         let now = inner.now_ns();

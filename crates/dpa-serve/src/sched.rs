@@ -389,6 +389,21 @@ impl Scheduler {
         }
     }
 
+    /// The wall-clock budget (ns) the tenant has *left* when this spec is
+    /// placed, or `None` when wall budgets are unconfigured. Admission
+    /// vetoes a tenant already over budget; this closes the other half of
+    /// the contract — a job admitted with a sliver of budget remaining
+    /// carries that sliver into the run, where the phase-boundary check
+    /// reaps it mid-flight instead of letting it run arbitrarily long on
+    /// a budget that expired after admission.
+    pub fn resolve_wall_budget(&self, spec: &JobSpec) -> Option<u64> {
+        if self.cfg.tenant_wall_budget_ns == u64::MAX {
+            return None;
+        }
+        let u = self.ledger.usage(spec.tenant);
+        Some(self.cfg.tenant_wall_budget_ns.saturating_sub(u.wall_ns))
+    }
+
     /// The configuration the scheduler was built with.
     pub fn config(&self) -> &SchedConfig {
         &self.cfg

@@ -16,7 +16,10 @@
 //!   blocking misses;
 //! * [`migrate::MigrationTable`] — per-node bookkeeping for locality-driven
 //!   object migration (adopted objects, forwarding stubs, learned home
-//!   overrides, and the affinity counts that drive the policy).
+//!   overrides, and the affinity counts that drive the policy);
+//! * [`replicate::ReplicaDirectory`] — the owner-side directory behind the
+//!   read-mostly replication mode: which pointers are multi-homed, to whom,
+//!   at which generation, and how write-heavy the current window is.
 //!
 //! Object *payloads* live in the owning application's typed arenas; since
 //! the force phases only read remote data, a "fetch" moves simulated bytes
@@ -32,9 +35,11 @@ pub mod cache;
 pub mod fxhash;
 pub mod gptr;
 pub mod migrate;
+pub mod replicate;
 
 pub use arrival::ArrivalSet;
 pub use cache::{CacheStats, EvictPolicy, SoftCache};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use gptr::{ClassTable, GPtr, ObjClass};
 pub use migrate::{Migration, MigrationTable};
+pub use replicate::{ReplicaDirectory, ReplicaEntry};

@@ -24,7 +24,7 @@
 //! calls — which is what lets migration runs stay replayable under the DST
 //! harness.
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::gptr::GPtr;
 
 /// Per-node migration state: deviations from the birth-home mapping plus
@@ -41,6 +41,11 @@ pub struct MigrationTable {
     overrides: FxHashMap<GPtr, u16>,
     /// Owner-side affinity: `(ptr, requester) -> remote dereference count`.
     affinity: FxHashMap<(GPtr, u16), u64>,
+    /// Objects pinned against re-homing — the replication directory's
+    /// pointers: a replicated object's directory lives at its birth home,
+    /// so migrating it would orphan every replica. Demotion unpins (the
+    /// driver rebuilds the pin set from the directory each boundary).
+    pinned: FxHashSet<GPtr>,
     migrations_in: u64,
     migrations_out: u64,
     overrides_learned: u64,
@@ -206,7 +211,7 @@ impl MigrationTable {
         }
         let mut picks: Vec<Migration> = per_ptr
             .into_iter()
-            .filter(|&(_, (count, _))| count >= threshold)
+            .filter(|&(ptr, (count, _))| count >= threshold && !self.pinned.contains(&ptr))
             .map(|(ptr, (count, to))| Migration { ptr, to, count })
             .collect();
         picks.sort_by(|a, b| {
@@ -216,6 +221,44 @@ impl MigrationTable {
         });
         picks.truncate(budget);
         picks
+    }
+
+    /// Replace the pin set: `ptrs` are exempt from [`pick_migrations`]
+    /// until the next call. The driver rebuilds this from the replica
+    /// directory at every phase boundary, so a demoted pointer is
+    /// automatically eligible for migration again.
+    ///
+    /// [`pick_migrations`]: MigrationTable::pick_migrations
+    pub fn set_pins(&mut self, ptrs: &[GPtr]) {
+        self.pinned.clear();
+        self.pinned.extend(ptrs.iter().copied());
+    }
+
+    /// `true` when `ptr` is pinned against re-homing.
+    pub fn is_pinned(&self, ptr: GPtr) -> bool {
+        self.pinned.contains(&ptr)
+    }
+
+    /// Number of pinned objects.
+    pub fn pinned_len(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Owner-side affinity rows grouped per object:
+    /// `(ptr, [(requester, count)])`, objects sorted by pointer bits, rows
+    /// sorted by requester — the fan-out signal the replication promotion
+    /// policy reads (a hub shows many requesters, none dominant).
+    pub fn affinity_summary(&self) -> Vec<(GPtr, Vec<(u16, u64)>)> {
+        let mut per_ptr: FxHashMap<GPtr, Vec<(u16, u64)>> = FxHashMap::default();
+        for (&(ptr, from), &count) in &self.affinity {
+            per_ptr.entry(ptr).or_default().push((from, count));
+        }
+        let mut out: Vec<(GPtr, Vec<(u16, u64)>)> = per_ptr.into_iter().collect();
+        for (_, rows) in &mut out {
+            rows.sort_unstable();
+        }
+        out.sort_unstable_by_key(|(p, _)| p.bits());
+        out
     }
 
     /// Number of objects adopted here.
@@ -417,6 +460,41 @@ mod tests {
         t.record_affinity(obj, 2, 50, 0);
         assert!(t.pick_migrations(1, 8).is_empty());
         assert_eq!(t.affinity_recorded(), 0);
+    }
+
+    #[test]
+    fn pinned_objects_are_never_picked_until_unpinned() {
+        let mut t = MigrationTable::new();
+        let hot = p(0, 1);
+        let cold = p(0, 2);
+        t.record_affinity(hot, 1, 50, 0);
+        t.record_affinity(cold, 2, 50, 0);
+        t.set_pins(&[hot]);
+        assert!(t.is_pinned(hot) && !t.is_pinned(cold));
+        let picks = t.pick_migrations(1, 8);
+        assert_eq!(picks.len(), 1, "pinned object skipped, signal intact");
+        assert_eq!(picks[0].ptr, cold);
+        // Demotion: the driver rebuilds the pin set without the pointer,
+        // and the accumulated signal immediately re-enables migration.
+        t.set_pins(&[]);
+        assert_eq!(t.pinned_len(), 0);
+        assert_eq!(t.pick_migrations(1, 8).len(), 2);
+    }
+
+    #[test]
+    fn affinity_summary_groups_and_sorts() {
+        let mut t = MigrationTable::new();
+        t.record_affinity(p(0, 5), 3, 7, 0);
+        t.record_affinity(p(0, 5), 1, 9, 0);
+        t.record_affinity(p(0, 2), 2, 4, 0);
+        let s = t.affinity_summary();
+        assert_eq!(
+            s,
+            vec![
+                (p(0, 2), vec![(2, 4)]),
+                (p(0, 5), vec![(1, 9), (3, 7)]),
+            ]
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Checksum-invariance battery for the skew-adversarial graph workload:
 //! the semi-naive transitive-closure checksums must be bit-identical
 //! across every config lane — fixed and adaptive strips, migration on and
-//! off, differential re-alignment on and off — because none of those knobs
+//! off, differential re-alignment on and off, read-mostly replication on
+//! and off — because none of those knobs
 //! is allowed to change *what* is computed, only when and where. Mirrors
 //! `tests/stripctl.rs`; the `DPA_SIM_QUEUE` / `DPA_SIM_THREADS` lanes come
 //! from the CI matrix running this whole file under each engine.
@@ -121,6 +122,38 @@ fn graph_checksums_invariant_across_config_lanes() {
             },
             true,
         ),
+        // Replication lanes: the fourth alignment mode must also be purely
+        // a *when/where* knob. `dpa_replicating` keeps migration too timid
+        // to steal the hub, so the promotion path (not re-homing) is what
+        // gets exercised.
+        ("repl".into(), DpaConfig::dpa_replicating(8), true),
+        (
+            "adaptive+repl".into(),
+            DpaConfig {
+                strip_mode: adaptive,
+                ..DpaConfig::dpa_replicating(1)
+            },
+            true,
+        ),
+        (
+            "repl+mig".into(),
+            DpaConfig {
+                migration_threshold: DpaConfig::dpa_migrating(8).migration_threshold,
+                ..DpaConfig::dpa_replicating(8)
+            },
+            true,
+        ),
+        (
+            "repl eager".into(),
+            DpaConfig {
+                replication_min_fanout: 2,
+                replication_threshold: 4,
+                replication_budget: 8,
+                replication_write_demote: 2,
+                ..DpaConfig::dpa_replicating(8)
+            },
+            true,
+        ),
     ];
     let mut baseline: Option<Vec<(u64, u64)>> = None;
     for (label, cfg, differential) in lanes {
@@ -131,6 +164,25 @@ fn graph_checksums_invariant_across_config_lanes() {
                 .flatten()
                 .any(|s| s.strip_schedule.len() > 1);
             assert!(retuned, "{label}: no strip boundary was ever crossed");
+        }
+        // The repl lanes must have exercised the protocol, not just
+        // tolerated the knob: at least one owner published a directory
+        // entry and at least one broadcast entry was installed somewhere.
+        // This holds for `repl+mig` too: the replicating preset runs
+        // migration in boundary-only mode, and the boundary pass promotes
+        // (and pins) before it picks migrations, so even an eager
+        // threshold cannot steal the hub out from under its consumers.
+        if label.contains("repl") {
+            let published = snap_sets
+                .iter()
+                .flatten()
+                .any(|s| !s.replica_dir.is_empty());
+            let installed = snap_sets
+                .iter()
+                .flatten()
+                .any(|s| s.repl_entries_recv > 0);
+            assert!(published, "{label}: no pointer was ever promoted");
+            assert!(installed, "{label}: no replica broadcast was installed");
         }
         match &baseline {
             None => baseline = Some(sums),

@@ -682,6 +682,99 @@ proptest! {
         }
     }
 
+    /// Read-mostly replication is semantically invisible under faults:
+    /// on random skewed graph worlds, a replicating differential run
+    /// under a drop/dup/delay plan either completes with checksums
+    /// bit-identical to the single-home differential ground truth, or
+    /// (under real loss) stalls with a diagnosis — it never completes
+    /// with a stale replica read. Completed runs pass the full oracle
+    /// battery (replica broadcast conservation and directory coherence
+    /// included), and the generation an owner publishes for a replicated
+    /// pointer is monotone across phases.
+    #[test]
+    fn replicated_reads_equal_single_home_reads(
+        seed in any::<u64>(),
+        n in 48usize..96,
+        skew in 1.2f64..2.2,
+        plan_idx in 0usize..4,
+    ) {
+        use dpa::apps::graph_dist::{GraphApp, GraphParams, GraphWorld};
+        use dpa::runtime::run_phase_differential;
+        use dpa::sim_net::FaultPlan;
+        const PHASES: usize = 3;
+        const NODES: u16 = 4;
+        let world = GraphWorld::build(GraphParams {
+            n,
+            skew,
+            seed,
+            root_stride: 2,
+            ..GraphParams::default()
+        });
+        let plan = match plan_idx {
+            0 => FaultPlan::none(),
+            1 => FaultPlan::drop(seed ^ 0xD0, 0.02),
+            2 => FaultPlan::duplicate(seed ^ 0xD1, 0.10),
+            _ => FaultPlan::delay(seed ^ 0xD2, 0.30, 40_000),
+        };
+        let run = |cfg: DpaConfig, faults: FaultPlan| {
+            let mut sums = vec![(0u64, 0u64); PHASES * NODES as usize];
+            let (reports, snap_sets, _) = run_phase_differential(
+                NODES,
+                NetConfig::default(),
+                cfg,
+                &DstOptions { faults, ..DstOptions::default() },
+                PHASES,
+                |ph, i| GraphApp::new(world.clone(), i, ph as u32),
+                |ph, i, app: &GraphApp| {
+                    sums[ph * NODES as usize + i as usize] = (app.sum, app.reached)
+                },
+            );
+            (sums, reports, snap_sets)
+        };
+        // Single-home ground truth: plain differential, no faults.
+        let (truth, t_reports, _) = run(DpaConfig::dpa_differential(8), FaultPlan::none());
+        prop_assert!(t_reports.iter().all(|r| r.completed), "ground-truth run stalled");
+        // Replicated run under the fault plan.
+        let (got, reports, snap_sets) = run(DpaConfig::dpa_replicating(8), plan);
+        let completed = reports.iter().all(|r| r.completed);
+        let dropped: u64 = reports.iter().map(|r| r.stats.dropped_packets).sum();
+        if plan_idx != 1 {
+            // Dup and delay are lossless: dedup and reordering tolerance
+            // must carry the run to completion.
+            prop_assert!(completed, "lossless plan stalled: {}",
+                reports.iter().map(|r| r.stall_summary()).collect::<Vec<_>>().join(" | "));
+        }
+        if completed {
+            prop_assert_eq!(&got, &truth, "replicated reads diverged from single-home reads");
+            for snaps in &snap_sets {
+                let v = check_completed(snaps, dropped > 0);
+                prop_assert!(v.is_empty(), "oracle violation: {}", v[0]);
+            }
+        } else {
+            prop_assert!(
+                reports.iter().any(|r| !r.completed && !r.stall_summary().is_empty()),
+                "stalled without a diagnosis"
+            );
+        }
+        // Published generations are monotone per pointer across phases: a
+        // fault can delay or drop a broadcast, but it can never make an
+        // owner republish an older generation.
+        let mut last: HashMap<u64, u32> = HashMap::new();
+        for snaps in &snap_sets {
+            for s in snaps {
+                for &(ptr, gen) in &s.replica_dir {
+                    if let Some(&prev) = last.get(&ptr) {
+                        prop_assert!(
+                            gen >= prev,
+                            "replica generation regressed for {:#x}: {} -> {}", ptr, prev, gen
+                        );
+                    }
+                    last.insert(ptr, gen);
+                }
+            }
+        }
+    }
+
     /// Octrees contain every body exactly once and match direct gravity
     /// at θ = 0.
     #[test]
